@@ -1,0 +1,232 @@
+package hidinglcp_test
+
+import (
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/experiments"
+	"hidinglcp/internal/forgetful"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/sim"
+	"hidinglcp/internal/view"
+)
+
+// benchExperiment times one full experiment run (and fails the bench on an
+// experiment error, so the benchmark suite doubles as a reproduction
+// check).
+func benchExperiment(b *testing.B, run func() experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t := run()
+		if t.Err != nil {
+			b.Fatal(t.Err)
+		}
+	}
+}
+
+func BenchmarkE1Forgetful(b *testing.B)      { benchExperiment(b, experiments.E1Forgetful) }
+func BenchmarkE2Views(b *testing.B)          { benchExperiment(b, experiments.E2Views) }
+func BenchmarkE3DegreeOne(b *testing.B)      { benchExperiment(b, experiments.E3DegreeOne) }
+func BenchmarkE4EvenCycle(b *testing.B)      { benchExperiment(b, experiments.E4EvenCycle) }
+func BenchmarkE5Union(b *testing.B)          { benchExperiment(b, experiments.E5Union) }
+func BenchmarkE6Shatter(b *testing.B)        { benchExperiment(b, experiments.E6Shatter) }
+func BenchmarkE7Watermelon(b *testing.B)     { benchExperiment(b, experiments.E7Watermelon) }
+func BenchmarkE8Extraction(b *testing.B)     { benchExperiment(b, experiments.E8Extraction) }
+func BenchmarkE9Realize(b *testing.B)        { benchExperiment(b, experiments.E9Realize) }
+func BenchmarkE10Ramsey(b *testing.B)        { benchExperiment(b, experiments.E10Ramsey) }
+func BenchmarkE11Impossibility(b *testing.B) { benchExperiment(b, experiments.E11Impossibility) }
+func BenchmarkE12HiddenFraction(b *testing.B) {
+	benchExperiment(b, experiments.E12HiddenFraction)
+}
+func BenchmarkE13Simulator(b *testing.B) { benchExperiment(b, experiments.E13Simulator) }
+func BenchmarkE14Baseline(b *testing.B)  { benchExperiment(b, experiments.E14Baseline) }
+
+// ---- Micro-benchmarks and ablations (DESIGN.md Section 4) ----
+
+// BenchmarkViewExtract measures centralized radius-r view extraction, the
+// inner loop of every property checker.
+func BenchmarkViewExtract(b *testing.B) {
+	g := graph.Grid(8, 8)
+	pt := graph.DefaultPorts(g)
+	ids := graph.SequentialIDs(g.N())
+	labels := make([]string, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= 2; r++ {
+			if _, err := view.Extract(g, pt, ids, labels, g.N(), (i+r)%g.N(), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkViewKey ablates canonical-key construction: identifier-ordered
+// (non-anonymous) vs minimal-serialization (anonymous) canonicalization.
+func BenchmarkViewKey(b *testing.B) {
+	g := graph.Grid(5, 5)
+	pt := graph.DefaultPorts(g)
+	ids := graph.SequentialIDs(g.N())
+	labels := make([]string, g.N())
+	mu := view.MustExtract(g, pt, ids, labels, g.N(), 12, 2)
+	anon := mu.Anonymize()
+	b.Run("with-ids", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = mu.Key()
+		}
+	})
+	b.Run("anonymous-min-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = anon.Key()
+		}
+	})
+}
+
+// BenchmarkDecoders measures one full decoder pass over a certified
+// instance, per scheme.
+func BenchmarkDecoders(b *testing.B) {
+	runs := []struct {
+		name string
+		s    core.Scheme
+		g    *graph.Graph
+		anon bool
+	}{
+		{"trivial/grid6x6", decoders.Trivial(2), graph.Grid(6, 6), true},
+		{"degree-one/spider", decoders.DegreeOne(), graph.Spider([]int{5, 5, 5}), true},
+		{"even-cycle/C64", decoders.EvenCycle(), graph.MustCycle(64), true},
+		{"shatter/grid6x6", decoders.Shatter(), graph.Grid(6, 6), false},
+		{"watermelon/4x16", decoders.Watermelon(), graph.MustWatermelon([]int{16, 16, 16, 16}), false},
+	}
+	for _, r := range runs {
+		b.Run(r.name, func(b *testing.B) {
+			var inst core.Instance
+			if r.anon {
+				inst = core.NewAnonymousInstance(r.g)
+			} else {
+				inst = core.NewInstance(r.g)
+			}
+			labels, err := r.s.Prover.Certify(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l := core.MustNewLabeled(inst, labels)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(r.s.Decoder, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNeighborhoodGraph measures V(D, n) slice construction — the
+// Lemma 3.1 algorithm — at two scales, plus the worker-pool ablation.
+func BenchmarkNeighborhoodGraph(b *testing.B) {
+	s := decoders.DegreeOne()
+	b.Run("degree-one/n3", func(b *testing.B) {
+		fam := decoders.DegOneFamily(3)
+		for i := 0; i < b.N; i++ {
+			if _, err := nbhd.Build(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), fam...)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("degree-one/n4", func(b *testing.B) {
+		fam := decoders.DegOneFamily(4)
+		for i := 0; i < b.N; i++ {
+			if _, err := nbhd.Build(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), fam...)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("degree-one/n4-parallel", func(b *testing.B) {
+		fam := decoders.DegOneFamily(4)
+		for i := 0; i < b.N; i++ {
+			if _, err := nbhd.BuildParallel(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), fam...), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE15KColoring times the k-coloring generalization experiment.
+func BenchmarkE15KColoring(b *testing.B) { benchExperiment(b, experiments.E15KColoring) }
+
+// BenchmarkKColoring measures the peeling+DSATUR colorability decision on
+// a large accepting neighborhood graph (the E15 hot spot).
+func BenchmarkKColoring(b *testing.B) {
+	s := decoders.DegreeOneK(3)
+	var insts []core.Instance
+	for n := 2; n <= 4; n++ {
+		graph.EnumConnectedGraphs(n, func(g *graph.Graph) bool {
+			if g.MinDegree() == 1 && g.IsKColorable(3) {
+				gc := g.Clone()
+				insts = append(insts, core.Instance{G: gc, Prt: graph.DefaultPorts(gc), NBound: 4})
+			}
+			return true
+		})
+	}
+	ng, err := nbhd.Build(s.Decoder, nbhd.AllLabelings(decoders.DegOneKAlphabet(3), insts...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ng.IsKColorable(3) {
+			b.Fatal("slice unexpectedly non-3-colorable")
+		}
+	}
+}
+
+// BenchmarkSoundnessSearch ablates exhaustive labeling enumeration vs
+// seeded fuzzing for strong-soundness checking (DESIGN.md Section 4).
+func BenchmarkSoundnessSearch(b *testing.B) {
+	s := decoders.DegreeOne()
+	inst := core.NewAnonymousInstance(graph.MustCycle(5))
+	b.Run("exhaustive-4^5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := core.ExhaustiveStrongSoundness(s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimulator ablates goroutine-per-node vs sequential round-loop
+// scheduling for view gathering (DESIGN.md Section 4).
+func BenchmarkSimulator(b *testing.B) {
+	g := graph.Grid(8, 8)
+	l := core.MustNewLabeled(core.NewInstance(g), make([]string, g.N()))
+	b.Run("goroutines", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sim.Gather(l, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sim.GatherSequential(l, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkForgetfulCheck measures the exact r-forgetfulness decision.
+func BenchmarkForgetfulCheck(b *testing.B) {
+	tor, err := graph.Torus(6, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if ok, _, _ := forgetful.IsRForgetful(tor, 1); !ok {
+			b.Fatal("6x6 torus must be 1-forgetful")
+		}
+	}
+}
+
+// BenchmarkE16PromiseFreeLCL times the Section 1 LCL application.
+func BenchmarkE16PromiseFreeLCL(b *testing.B) { benchExperiment(b, experiments.E16PromiseFreeLCL) }

@@ -1,0 +1,57 @@
+// Command experiments runs the full reproduction suite — one experiment per
+// artifact of the paper's index in DESIGN.md — and prints the result tables
+// as markdown (the content recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-only E3] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hidinglcp/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if err := run(*only, *list); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string, list bool) error {
+	runners := experiments.All()
+	if list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return nil
+	}
+	ran := 0
+	var failed []string
+	for _, r := range runners {
+		if only != "" && r.ID != only {
+			continue
+		}
+		ran++
+		table := r.Run()
+		fmt.Println(table.Render())
+		if table.Err != nil {
+			failed = append(failed, r.ID)
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q (use -list)", only)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("experiments failed: %v", failed)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run("", true); err != nil {
+		t.Errorf("list mode: %v", err)
+	}
+}
+
+func TestRunSingle(t *testing.T) {
+	// E1 is the fastest experiment; running it end to end exercises the
+	// whole dispatch path.
+	if err := run("E1", false); err != nil {
+		t.Errorf("run E1: %v", err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("E99", false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunSchemes(t *testing.T) {
+	tests := []struct {
+		name        string
+		scheme      string
+		graph       string
+		distributed bool
+		wantErr     bool
+	}{
+		{"trivial on grid", "trivial", "grid:3x3", false, false},
+		{"degree-one on path", "degree-one", "path:6", false, false},
+		{"even cycle", "even-cycle", "cycle:8", false, false},
+		{"even cycle distributed", "even-cycle", "cycle:8", true, false},
+		{"watermelon", "watermelon", "watermelon:2,4,2", false, false},
+		{"shatter", "shatter", "grid:3x4", false, false},
+		{"union on star", "union", "star:5", false, false},
+		{"prover rejects", "even-cycle", "cycle:7", false, true},
+		{"unknown scheme", "bogus", "path:3", false, true},
+		{"bad graph", "trivial", "nope:1", false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.scheme, tt.graph, true, true, tt.distributed)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command nbhdgraph builds (a slice of) the accepting neighborhood graph
+// V(D, n) of Section 3 for one of the paper's schemes over a graph family,
+// reports its size and 2-colorability, prints any odd cycle (the Lemma 3.2
+// hiding witness), and optionally emits the graph in DOT format.
+//
+// Usage:
+//
+//	nbhdgraph -scheme degree-one                      # exhaustive δ=1 slice, n <= 4
+//	nbhdgraph -scheme even-cycle                      # all C4/C6 yes-instances
+//	nbhdgraph -scheme shatter                         # the paper's P8/P7 pair
+//	nbhdgraph -scheme watermelon -dot out.dot         # P8 two-identifier pair
+//	nbhdgraph -scheme trivial -graphs path:3,cycle:4  # prover-labeled custom family
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hidinglcp/internal/cli"
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/nbhd"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "degree-one", "scheme whose neighborhood graph to build")
+	graphsSpec := flag.String("graphs", "", "comma-separated graph specs for a prover-labeled custom family (default: the scheme's canonical hiding family)")
+	dotPath := flag.String("dot", "", "write the neighborhood graph in DOT format to this file")
+	flag.Parse()
+
+	if err := run(*schemeName, *graphsSpec, *dotPath); err != nil {
+		fmt.Fprintf(os.Stderr, "nbhdgraph: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeName, graphsSpec, dotPath string) error {
+	s, err := cli.SchemeByName(schemeName)
+	if err != nil {
+		return err
+	}
+	enum, desc, err := familyFor(s, schemeName, graphsSpec)
+	if err != nil {
+		return err
+	}
+	ng, err := nbhd.Build(s.Decoder, enum)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme:  %s\n", s.Name)
+	fmt.Printf("family:  %s\n", desc)
+	fmt.Printf("views:   %d accepting\n", ng.Size())
+	fmt.Printf("edges:   %d (+%d self-loops)\n", ng.EdgeCount(), ng.LoopCount())
+	fmt.Printf("2-colorable: %v\n", ng.IsKColorable(2))
+	if cyc := ng.OddCycle(); cyc != nil {
+		fmt.Printf("odd cycle: length %d -> the scheme is HIDING at this size (Lemma 3.2)\n", len(cyc))
+	} else {
+		fmt.Printf("no odd cycle in this slice -> an extraction decoder exists for it (Lemma 3.2)\n")
+	}
+	if dotPath != "" {
+		if err := writeDOT(ng, dotPath); err != nil {
+			return err
+		}
+		fmt.Printf("DOT written to %s\n", dotPath)
+	}
+	return nil
+}
+
+// familyFor picks the canonical hiding family for a scheme, or builds a
+// prover-labeled family from explicit graph specs.
+func familyFor(s core.Scheme, schemeName, graphsSpec string) (nbhd.Enumerator, string, error) {
+	if graphsSpec != "" {
+		var insts []core.Instance
+		for _, spec := range strings.Split(graphsSpec, ",") {
+			g, err := cli.ParseGraph(spec)
+			if err != nil {
+				return nil, "", err
+			}
+			if s.Decoder.Anonymous() {
+				insts = append(insts, core.NewAnonymousInstance(g))
+			} else {
+				insts = append(insts, core.NewInstance(g))
+			}
+		}
+		return nbhd.ProverLabeled(s, insts...), fmt.Sprintf("prover-labeled %s", graphsSpec), nil
+	}
+	switch schemeName {
+	case "degree-one", "union":
+		return nbhd.AllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...),
+			"exhaustive connected bipartite δ=1 slice, n <= 4, all ports and labelings", nil
+	case "even-cycle":
+		family, err := decoders.EvenCycleFamily(4, 6)
+		if err != nil {
+			return nil, "", err
+		}
+		return nbhd.FromLabeled(family...), "all yes-instances on C4 and C6 (every port assignment, both phases)", nil
+	case "shatter", "shatter-literal":
+		l1, l2 := decoders.ShatterHidingPair()
+		return nbhd.FromLabeled(l1, l2), "the paper's P8/P7 hiding pair", nil
+	case "watermelon":
+		family, err := decoders.WatermelonHidingFamily()
+		if err != nil {
+			return nil, "", err
+		}
+		return nbhd.FromLabeled(family...), "P8 identifier pair + rotated even-cycle watermelons", nil
+	case "trivial", "trivial3":
+		return nil, "", fmt.Errorf("the trivial scheme needs an explicit -graphs family")
+	default:
+		return nil, "", fmt.Errorf("no canonical family for scheme %q; pass -graphs", schemeName)
+	}
+}
+
+func writeDOT(ng *nbhd.NGraph, path string) error {
+	var b strings.Builder
+	b.WriteString("graph V {\n")
+	for i := 0; i < ng.Size(); i++ {
+		fmt.Fprintf(&b, "  v%d [label=%q];\n", i, fmt.Sprintf("view %d (n=%d)", i, ng.ViewAt(i).N()))
+		if ng.HasLoop(i) {
+			fmt.Fprintf(&b, "  v%d -- v%d;\n", i, i)
+		}
+	}
+	for _, e := range ng.Graph().Edges() {
+		fmt.Fprintf(&b, "  v%d -- v%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCanonicalFamilies(t *testing.T) {
+	for _, scheme := range []string{"degree-one", "even-cycle", "shatter", "watermelon"} {
+		t.Run(scheme, func(t *testing.T) {
+			if err := run(scheme, "", ""); err != nil {
+				t.Errorf("run(%s): %v", scheme, err)
+			}
+		})
+	}
+}
+
+func TestRunCustomFamily(t *testing.T) {
+	if err := run("trivial", "path:3,cycle:4", ""); err != nil {
+		t.Errorf("custom family: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", ""); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run("trivial", "", ""); err == nil {
+		t.Error("trivial without -graphs accepted")
+	}
+	if err := run("trivial", "bad:spec", ""); err == nil {
+		t.Error("bad graph spec accepted")
+	}
+	if err := run("trivial", "cycle:5", ""); err == nil {
+		t.Error("prover-labeled family on a no-instance accepted")
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.dot")
+	if err := run("shatter", "", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "graph V {") || !strings.Contains(out, "--") {
+		t.Errorf("malformed DOT output:\n%s", out)
+	}
+}

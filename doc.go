@@ -1,0 +1,35 @@
+// Package hidinglcp reproduces "Brief Announcement: Strong and Hiding
+// Distributed Certification of k-Coloring" (Modanese, Montealegre,
+// Ríos-Wilson; PODC 2025) as an executable Go library.
+//
+// The library models locally checkable proofs (LCPs) over port-numbered
+// networks with identifiers, implements every certification scheme the
+// paper constructs — the degree-one and even-cycle schemes of Theorem 1.1,
+// the shatter-point scheme of Theorem 1.3, and the watermelon scheme of
+// Theorem 1.4 — together with the accepting neighborhood graph and the
+// hiding characterization of Lemma 3.2, the r-forgetfulness and
+// realizability machinery of Sections 5–6, and a synchronous
+// message-passing simulator that runs the verifiers as genuine distributed
+// algorithms.
+//
+// Layout:
+//
+//	internal/graph       graph substrate: ports, identifiers, generators
+//	internal/view        radius-r views (Section 2.2 semantics)
+//	internal/core        the LCP model and its property checkers
+//	internal/nbhd        accepting neighborhood graph V(D, n) (Section 3)
+//	internal/decoders    the paper's certification schemes
+//	internal/forgetful   r-forgetfulness and realizability (Section 5)
+//	internal/orderinv    Ramsey and order invariance (Section 6)
+//	internal/lcl         the promise-free LCL application (Section 1)
+//	internal/sim         synchronous message-passing LOCAL simulator
+//	internal/experiments the reproduction suite (tables E1–E14)
+//	cmd/lcpcheck         certify one instance from the command line
+//	cmd/nbhdgraph        build V(D, n) slices, find odd view-cycles
+//	cmd/experiments      run and print the full reproduction suite
+//	examples/...         runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate every experiment; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
+package hidinglcp

@@ -1,0 +1,94 @@
+// Promise-free separation demo: the paper's motivating LCL (Section 1) —
+// "3-color the parts of the graph where a 2-colorability certificate is
+// valid" — run end to end. Strong soundness makes the task solvable on
+// EVERY input, even graphs that are not bipartite and certificates that
+// are garbage; without strong soundness (the literal Theorem 1.3 decoder)
+// solvability breaks.
+//
+// Run with: go run ./examples/promisefree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/lcl"
+)
+
+func main() {
+	fmt.Println("The LCL Π: output a 3-coloring valid on the certificate-accepted region.")
+	fmt.Println()
+
+	// 1. An honest instance: a certified spider. The whole graph accepts;
+	//    the solution 3-colors everything.
+	s := decoders.DegreeOne()
+	g := graph.Spider([]int{2, 3, 2})
+	inst := core.NewAnonymousInstance(g)
+	labels, err := s.Prover.Certify(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := core.MustNewLabeled(inst, labels)
+	sol, err := lcl.Solve(s.Decoder, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest spider: solution %v (valid: %v)\n", sol, lcl.Check(s.Decoder, l, sol) == nil)
+
+	// 2. Promise-free: a NON-bipartite graph with adversarial certificates.
+	//    Some nodes reject; the accepted region is still 2-colorable
+	//    (strong soundness) and Π remains solvable.
+	rng := rand.New(rand.NewSource(7))
+	bad := graph.Petersen()
+	badInst := core.NewAnonymousInstance(bad)
+	junk := make([]string, bad.N())
+	for v := range junk {
+		junk[v] = decoders.DegOneAlphabet()[rng.Intn(4)]
+	}
+	badL := core.MustNewLabeled(badInst, junk)
+	accepting, err := core.AcceptingSet(s.Decoder, badL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err = lcl.Solve(s.Decoder, badL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adversarial Petersen: %d/%d nodes accept; Π still solvable: %v\n",
+		len(accepting), bad.N(), lcl.Check(s.Decoder, badL, sol) == nil)
+
+	// 3. Why STRONG soundness: with the literal Theorem 1.3 decoder the
+	//    accepted region can be an odd cycle and the solver fails.
+	lit := decoders.ShatterLiteral()
+	cg := graph.MustFromEdges(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {5, 7}, {7, 8}, {8, 1},
+	})
+	cInst := core.NewInstance(cg)
+	cLabels := []string{
+		decoders.ShatterPointLabelLiteral(1),
+		decoders.ShatterNeighborLabel(1, []int{0, 0}),
+		decoders.ShatterCompLabel(1, 1, 0),
+		decoders.ShatterCompLabel(1, 1, 1),
+		decoders.ShatterCompLabel(1, 1, 0),
+		decoders.ShatterNeighborLabel(1, []int{0, 1}),
+		decoders.ShatterPointLabelLiteral(1),
+		decoders.ShatterCompLabel(1, 2, 1),
+		decoders.ShatterCompLabel(1, 2, 0),
+	}
+	cL := core.MustNewLabeled(cInst, cLabels)
+	if _, err := lcl.Solve(lit.Decoder, cL); err != nil {
+		fmt.Printf("literal shatter decoder: Π UNSOLVABLE — %v\n", err)
+	} else {
+		log.Fatal("expected the literal decoder's counterexample to break Π")
+	}
+	patched := decoders.Shatter()
+	if sol, err := lcl.Solve(patched.Decoder, cL); err == nil && lcl.Check(patched.Decoder, cL, sol) == nil {
+		fmt.Println("patched shatter decoder: Π solvable again on the same input.")
+	} else {
+		log.Fatal("patched decoder should restore solvability")
+	}
+}

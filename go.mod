@@ -1,0 +1,3 @@
+module hidinglcp
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package cli holds the scheme and graph-family specification parsers
+// shared by the command-line tools (cmd/lcpcheck, cmd/nbhdgraph).
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+)
+
+// SchemeNames lists the identifiers accepted by SchemeByName.
+func SchemeNames() []string {
+	return []string{"trivial", "trivial3", "degree-one", "even-cycle", "union", "shatter", "shatter-literal", "watermelon"}
+}
+
+// SchemeByName resolves a scheme identifier to its core.Scheme.
+func SchemeByName(name string) (core.Scheme, error) {
+	switch name {
+	case "trivial":
+		return decoders.Trivial(2), nil
+	case "trivial3":
+		return decoders.Trivial(3), nil
+	case "degree-one":
+		return decoders.DegreeOne(), nil
+	case "even-cycle":
+		return decoders.EvenCycle(), nil
+	case "union":
+		return decoders.Union(), nil
+	case "shatter":
+		return decoders.Shatter(), nil
+	case "shatter-literal":
+		return decoders.ShatterLiteral(), nil
+	case "watermelon":
+		return decoders.Watermelon(), nil
+	default:
+		return core.Scheme{}, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+	}
+}
+
+// ParseGraph builds a graph from a specification of the form family:args.
+// Families: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,
+// binarytree:LEVELS, spider:a,b,c, watermelon:l1,l2,..., petersen.
+func ParseGraph(spec string) (*graph.Graph, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	switch name {
+	case "path":
+		n, err := parseCount(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Path(n), nil
+	case "cycle":
+		n, err := parseCount(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Cycle(n)
+	case "star":
+		n, err := parseCount(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Star(n), nil
+	case "complete":
+		n, err := parseCount(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.Complete(n), nil
+	case "binarytree":
+		n, err := parseCount(arg)
+		if err != nil {
+			return nil, err
+		}
+		return graph.CompleteBinaryTree(n), nil
+	case "grid", "torus":
+		r, c, err := parseDims(arg)
+		if err != nil {
+			return nil, err
+		}
+		if name == "grid" {
+			return graph.Grid(r, c), nil
+		}
+		return graph.Torus(r, c)
+	case "spider", "watermelon":
+		lens, err := parseList(arg)
+		if err != nil {
+			return nil, err
+		}
+		if name == "spider" {
+			return graph.Spider(lens), nil
+		}
+		return graph.Watermelon(lens)
+	case "petersen":
+		return graph.Petersen(), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+}
+
+func parseCount(s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad count %q in graph spec", s)
+	}
+	return v, nil
+}
+
+func parseDims(s string) (int, int, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want RxC, got %q", s)
+	}
+	r, err := parseCount(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := parseCount(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, c, nil
+}
+
+func parseList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := parseCount(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"testing"
+
+	"hidinglcp/internal/graph"
+)
+
+func TestSchemeByName(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := SchemeByName(name)
+		if err != nil {
+			t.Errorf("SchemeByName(%q): %v", name, err)
+			continue
+		}
+		if s.Decoder == nil || s.Prover == nil {
+			t.Errorf("scheme %q incomplete", name)
+		}
+	}
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestParseGraph(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantN   int
+		wantErr bool
+	}{
+		{"path:5", 5, false},
+		{"cycle:6", 6, false},
+		{"cycle:2", 0, true},
+		{"star:4", 4, false},
+		{"complete:3", 3, false},
+		{"binarytree:3", 7, false},
+		{"grid:3x4", 12, false},
+		{"grid:3", 0, true},
+		{"torus:3x3", 9, false},
+		{"torus:2x3", 0, true},
+		{"spider:2,2,2", 7, false},
+		{"watermelon:2,4,2", 7, false},
+		{"watermelon:1", 0, true},
+		{"petersen", 10, false},
+		{"path:x", 0, true},
+		{"path:-1", 0, true},
+		{"unknown:3", 0, true},
+		{"grid:axb", 0, true},
+		{"spider:2,x", 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			g, err := ParseGraph(tt.spec)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tt.wantErr)
+			}
+			if err == nil && g.N() != tt.wantN {
+				t.Errorf("N = %d, want %d", g.N(), tt.wantN)
+			}
+		})
+	}
+}
+
+func TestParseGraphStructure(t *testing.T) {
+	g, err := ParseGraph("watermelon:2,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := graph.WatermelonEndpoints()
+	if !graph.IsWatermelon(g, v1, v2) {
+		t.Error("parsed watermelon is not a watermelon")
+	}
+}

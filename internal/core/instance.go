@@ -1,0 +1,118 @@
+// Package core implements the locally checkable proof (LCP) model of
+// Section 2 of the paper: distributed languages, labeled instances
+// (G, prt, Id, ℓ), r-round binary decoders, provers, and mechanical checkers
+// for the completeness, soundness, strong soundness (Section 2.3),
+// anonymity, and order-invariance properties. The hiding property
+// (Section 2.4) is characterized through the accepting neighborhood graph
+// and lives in package nbhd.
+package core
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
+)
+
+// Instance is an unlabeled network: a graph together with a port assignment,
+// an optional identifier assignment (nil = anonymous network), and the
+// common identifier bound N = poly(n) known to all nodes.
+type Instance struct {
+	G      *graph.Graph
+	Prt    *graph.Ports
+	IDs    graph.IDs // nil for anonymous instances
+	NBound int
+}
+
+// NewInstance wraps g with default ports, sequential identifiers, and
+// NBound = n.
+func NewInstance(g *graph.Graph) Instance {
+	return Instance{
+		G:      g,
+		Prt:    graph.DefaultPorts(g),
+		IDs:    graph.SequentialIDs(g.N()),
+		NBound: g.N(),
+	}
+}
+
+// NewAnonymousInstance wraps g with default ports and no identifiers.
+func NewAnonymousInstance(g *graph.Graph) Instance {
+	return Instance{G: g, Prt: graph.DefaultPorts(g), NBound: g.N()}
+}
+
+// WithIDs returns a copy of inst using the given identifier assignment and
+// bound.
+func (inst Instance) WithIDs(ids graph.IDs, nBound int) Instance {
+	inst.IDs = ids
+	inst.NBound = nBound
+	return inst
+}
+
+// WithPorts returns a copy of inst using the given port assignment.
+func (inst Instance) WithPorts(pt *graph.Ports) Instance {
+	inst.Prt = pt
+	return inst
+}
+
+// Validate checks internal consistency of the instance.
+func (inst Instance) Validate() error {
+	if inst.G == nil {
+		return fmt.Errorf("instance has no graph")
+	}
+	if inst.Prt == nil {
+		return fmt.Errorf("instance has no port assignment")
+	}
+	if err := inst.Prt.Validate(inst.G); err != nil {
+		return fmt.Errorf("ports: %w", err)
+	}
+	if inst.IDs != nil {
+		if err := inst.IDs.Validate(inst.G.N(), inst.NBound); err != nil {
+			return fmt.Errorf("identifiers: %w", err)
+		}
+	}
+	return nil
+}
+
+// Labeled is an instance with a certificate assignment: the labeled
+// yes-instance tuple (G, prt, Id, ℓ) of Section 3 when the labels are
+// accepted everywhere.
+type Labeled struct {
+	Instance
+	Labels []string
+}
+
+// NewLabeled attaches labels to inst. It returns an error if the labeling
+// does not cover every node.
+func NewLabeled(inst Instance, labels []string) (Labeled, error) {
+	if len(labels) != inst.G.N() {
+		return Labeled{}, fmt.Errorf("labeling covers %d nodes, graph has %d", len(labels), inst.G.N())
+	}
+	return Labeled{Instance: inst, Labels: labels}, nil
+}
+
+// MustNewLabeled is NewLabeled but panics on error.
+func MustNewLabeled(inst Instance, labels []string) Labeled {
+	l, err := NewLabeled(inst, labels)
+	if err != nil {
+		panic(fmt.Sprintf("core.MustNewLabeled: %v", err))
+	}
+	return l
+}
+
+// ViewOf extracts the radius-r view of node v in the labeled instance.
+func (l Labeled) ViewOf(v, r int) (*view.View, error) {
+	return view.Extract(l.G, l.Prt, l.IDs, l.Labels, l.NBound, v, r)
+}
+
+// Views extracts the radius-r views of all nodes.
+func (l Labeled) Views(r int) ([]*view.View, error) {
+	out := make([]*view.View, l.G.N())
+	for v := 0; v < l.G.N(); v++ {
+		mu, err := l.ViewOf(v, r)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", v, err)
+		}
+		out[v] = mu
+	}
+	return out, nil
+}

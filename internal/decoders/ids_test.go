@@ -1,0 +1,94 @@
+package decoders
+
+import (
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+)
+
+// Section 2.2 quantifies completeness over EVERY identifier assignment;
+// these tests enumerate all injective assignments on small instances for
+// the identifier-dependent schemes.
+
+func TestShatterCompletenessAllIDs(t *testing.T) {
+	s := Shatter()
+	g := graph.Path(5)
+	pt := graph.DefaultPorts(g)
+	count := 0
+	graph.EnumIDs(5, 6, func(ids graph.IDs) bool {
+		count++
+		inst := core.Instance{G: g, Prt: pt, IDs: ids, NBound: 6}
+		if _, err := core.CheckCompleteness(s, inst); err != nil {
+			t.Errorf("ids %v: %v", ids, err)
+			return false
+		}
+		return true
+	})
+	if count != 720 {
+		t.Fatalf("enumerated %d assignments, want 720", count)
+	}
+}
+
+func TestWatermelonCompletenessAllIDs(t *testing.T) {
+	s := Watermelon()
+	g := graph.MustWatermelon([]int{2, 2}) // C4 as a 2-path watermelon
+	pt := graph.DefaultPorts(g)
+	graph.EnumIDs(4, 5, func(ids graph.IDs) bool {
+		inst := core.Instance{G: g, Prt: pt, IDs: ids, NBound: 5}
+		if _, err := core.CheckCompleteness(s, inst); err != nil {
+			t.Errorf("ids %v: %v", ids, err)
+			return false
+		}
+		return true
+	})
+}
+
+func TestTrivialCompletenessAllIDs(t *testing.T) {
+	// Anonymous schemes must not care; spot-check through the full Run
+	// path anyway.
+	s := Trivial(2)
+	g := graph.MustCycle(4)
+	pt := graph.DefaultPorts(g)
+	graph.EnumIDs(4, 4, func(ids graph.IDs) bool {
+		inst := core.Instance{G: g, Prt: pt, IDs: ids, NBound: 4}
+		if _, err := core.CheckCompleteness(s, inst); err != nil {
+			t.Errorf("ids %v: %v", ids, err)
+			return false
+		}
+		return true
+	})
+}
+
+// TestShatterOrderDependence documents that the shatter scheme is NOT
+// order-invariant (its certificates mention identifier values), which is
+// exactly why Theorem 1.5's order-invariant impossibility does not apply
+// to it despite its strong soundness and hiding.
+func TestShatterOrderDependence(t *testing.T) {
+	s := Shatter()
+	g := graph.Path(5)
+	inst := core.NewInstance(g)
+	labels, err := s.Prover.Certify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.MustNewLabeled(inst, labels)
+	// Same relative order, shifted values: the id-anchored certificates no
+	// longer match and nodes reject.
+	shifted := l
+	shifted.IDs = graph.IDs{11, 12, 13, 14, 15}
+	shifted.NBound = 15
+	outs, err := core.Run(s.Decoder, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := false
+	for _, ok := range outs {
+		if !ok {
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("order-preserving identifier shift went unnoticed: the scheme would be order-invariant")
+	}
+}

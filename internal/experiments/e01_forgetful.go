@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/forgetful"
+	"hidinglcp/internal/graph"
+)
+
+// E1Forgetful reproduces Fig. 1 and Lemma 2.1: it classifies a corpus of
+// graph families by the r-forgetful property and confirms that every
+// r-forgetful member has diameter at least 2r+1. The paper asserts the
+// property "applies to a broad class of graphs, including (regular) grids
+// and trees"; the exact-definition check shows that boundaries break it
+// (finite grids fail at corners, trees fail at leaves) while toroidal grids
+// and long cycles satisfy it — the graphs that matter for Theorem 1.2's
+// hypothesis (bipartite, minimum degree >= 2, not a cycle, r-forgetful).
+func E1Forgetful() Table {
+	t := Table{
+		ID:      "E1",
+		Title:   "r-forgetfulness and Lemma 2.1 (Fig. 1)",
+		Columns: []string{"graph", "n", "diam", "1-forgetful", "2-forgetful", "Lemma 2.1 ok"},
+	}
+	mustTorus := func(r, c int) *graph.Graph {
+		g, err := graph.Torus(r, c)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: torus %dx%d: %v", r, c, err))
+		}
+		return g
+	}
+	corpus := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"C5", graph.MustCycle(5)},
+		{"C7", graph.MustCycle(7)},
+		{"C12", graph.MustCycle(12)},
+		{"P8 (tree)", graph.Path(8)},
+		{"binary tree depth 3", graph.CompleteBinaryTree(3)},
+		{"grid 4x4", graph.Grid(4, 4)},
+		{"grid 5x6", graph.Grid(5, 6)},
+		{"torus 4x4", mustTorus(4, 4)},
+		{"torus 6x6", mustTorus(6, 6)},
+		{"torus 6x8", mustTorus(6, 8)},
+		{"K5", graph.Complete(5)},
+		{"Petersen", graph.Petersen()},
+		{"theta(4,4,4)", graph.MustWatermelon([]int{4, 4, 4})},
+	}
+	for _, c := range corpus {
+		f1, _, _ := forgetful.IsRForgetful(c.g, 1)
+		f2, _, _ := forgetful.IsRForgetful(c.g, 2)
+		lemmaOK := true
+		for r := 1; r <= 2; r++ {
+			if err := forgetful.CheckLemma21(c.g, r); err != nil {
+				lemmaOK = false
+			}
+		}
+		t.AddRow(c.name, c.g.N(), c.g.Diameter(), f1, f2, lemmaOK)
+	}
+	t.Notes = "Paper: r-forgetful graphs have diameter >= 2r+1 (Lemma 2.1); measured: " +
+		"no violation in the corpus. The literal definition is unsatisfiable for r >= 2 " +
+		"(the escape path's own nodes lie in N^r(u)); the table uses the minimal repair " +
+		"documented on forgetful.EscapePath."
+	return t
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/nbhd"
+)
+
+// E4EvenCycle reproduces Lemma 4.2 and Figs. 5/6: the anonymous EvenCycle
+// scheme certifies even cycles by revealing a 2-edge-coloring; it is
+// complete, strongly sound, and hiding, with the odd cycle of views found
+// in the slice of V(D, 6) built from all yes-instances on C4 and C6.
+func E4EvenCycle() Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "EvenCycle scheme (Lemma 4.2, Figs. 5-6)",
+		Columns: []string{"check", "scope", "result"},
+	}
+	s := decoders.EvenCycle()
+
+	for n := 4; n <= 14; n += 2 {
+		if _, err := core.CheckCompleteness(s, core.NewAnonymousInstance(graph.MustCycle(n))); err != nil {
+			t.Err = err
+			return t
+		}
+	}
+	t.AddRow("completeness", "C4..C14", "all accept")
+
+	// Exhaustive strong soundness on C3 and C4 over the full 17-symbol
+	// alphabet (16 well-formed certificates + garbage).
+	for _, n := range []int{3, 4} {
+		inst := core.NewAnonymousInstance(graph.MustCycle(n))
+		if err := core.ExhaustiveStrongSoundness(s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet()); err != nil {
+			t.Err = err
+			return t
+		}
+	}
+	t.AddRow("strong soundness (exhaustive 17^n labelings)", "C3, C4", "no violation")
+
+	rng := rand.New(rand.NewSource(2))
+	alpha := decoders.EvenCycleAlphabet()
+	gen := func(_ int, rng *rand.Rand) string { return alpha[rng.Intn(len(alpha))] }
+	for _, g := range []*graph.Graph{graph.MustCycle(5), graph.MustCycle(7), graph.Petersen()} {
+		if err := core.FuzzStrongSoundness(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen); err != nil {
+			t.Err = err
+			return t
+		}
+	}
+	t.AddRow("strong soundness (fuzz x500)", "C5, C7, Petersen", "no violation")
+
+	family, err := decoders.EvenCycleFamily(4, 6)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	ng, err := nbhd.Build(s.Decoder, nbhd.FromLabeled(family...))
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	cyc := ng.OddCycle()
+	t.AddRow("V(D,6) size / edges / loops", fmt.Sprintf("%d yes-instances", len(family)),
+		fmt.Sprintf("%d / %d / %d", ng.Size(), ng.EdgeCount(), ng.LoopCount()))
+	if cyc == nil {
+		t.Err = fmt.Errorf("no odd cycle found: hiding NOT reproduced")
+		return t
+	}
+	t.AddRow("hiding (odd cycle in V(D,6), Lemma 3.2)", "all ports x both phases", fmt.Sprintf("odd cycle of length %d found", len(cyc)))
+	t.Notes = "Paper (Fig. 6): an odd cycle exists in V(D,6) from two instances; measured: the " +
+		"full yes-instance slice (every port assignment of C4 and C6, both 2-edge-coloring " +
+		"phases) even contains SELF-LOOPED views — an odd closed walk of length 1: under " +
+		"symmetric port assignments two adjacent nodes have identical views, the strongest " +
+		"possible hiding witness (no decoder can ever split them). Unlike DegreeOne, the " +
+		"coloring is hidden at EVERY node (see E12). Certificate size: constant 6 bits."
+	return t
+}

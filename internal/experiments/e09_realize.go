@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/forgetful"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/view"
+)
+
+// E9Realize demonstrates the Section 5 machinery end to end on an
+// order-invariant strawman decoder ("accept iff the certificate says ok"):
+// realizable anchor views assemble into a concrete instance G_bad
+// (Lemma 5.1) whose accepted subgraph is an odd cycle, mechanically
+// refuting strong soundness; plus the Fig. 8 escape-walk construction and
+// its lift into the accepting neighborhood graph (Lemma 5.4), and the
+// non-backtracking odd-walk search (Lemma 5.5).
+func E9Realize() Table {
+	t := Table{
+		ID:      "E9",
+		Title:   "realizability and G_bad (Lemmas 5.1-5.5, Fig. 8)",
+		Columns: []string{"stage", "detail", "result"},
+	}
+	okDecoder := core.NewDecoder(1, false, func(mu *view.View) bool {
+		return mu.Labels[view.Center] == "ok"
+	})
+
+	// Stage 1: anchors from three path yes-instances.
+	hosts := []struct {
+		ids graph.IDs
+	}{
+		{graph.IDs{2, 1, 3}},
+		{graph.IDs{1, 2, 3}},
+		{graph.IDs{1, 3, 2}},
+	}
+	var anchorsViews []*view.View
+	for _, h := range hosts {
+		g := graph.Path(3)
+		inst := core.Instance{G: g, Prt: graph.DefaultPorts(g), IDs: h.ids, NBound: 3}
+		l := core.MustNewLabeled(inst, []string{"ok", "ok", "ok"})
+		mu, err := l.ViewOf(1, 1)
+		if err != nil {
+			t.Err = err
+			return t
+		}
+		anchorsViews = append(anchorsViews, mu)
+	}
+	anchors, err := forgetful.NewAnchors(anchorsViews...)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	if err := forgetful.CheckRealizable(anchorsViews, anchors); err != nil {
+		t.Err = err
+		return t
+	}
+	t.AddRow("realizability (Sec. 5.1)", "3 path views, centers see the other two identifiers", "realizable")
+
+	// Stage 2: G_bad assembly.
+	gBad, nodeOf, err := forgetful.BuildGBad(anchors, 3)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	t.AddRow("G_bad assembly (Lemma 5.1)", fmt.Sprintf("nodes=%d edges=%d", gBad.G.N(), gBad.G.M()),
+		fmt.Sprintf("bipartite=%v", gBad.G.IsBipartite()))
+	match, err := forgetful.VerifyRealization(gBad, nodeOf, anchors, 1)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	matched := 0
+	for _, ok := range match {
+		if ok {
+			matched++
+		}
+	}
+	t.AddRow("realized views vs anchors", fmt.Sprintf("%d/%d exact", matched, len(match)),
+		"far-end ports of radius-1 anchors may legitimately differ")
+
+	// Stage 3: strong-soundness refutation.
+	err = core.CheckStrongSoundness(okDecoder, core.TwoCol(), gBad)
+	var violation *core.StrongSoundnessViolation
+	if !errors.As(err, &violation) {
+		t.Err = fmt.Errorf("G_bad did not refute the strawman decoder: %v", err)
+		return t
+	}
+	t.AddRow("refutation", fmt.Sprintf("accepting set %v induces an odd cycle", violation.Accepting),
+		"strong soundness violated mechanically")
+
+	// Stage 4: Fig. 8 escape walk and its lift (Lemma 5.4).
+	host := graph.MustCycle(12)
+	walk, err := forgetful.EscapeWalk(host, 0, 1, 1)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	labels := make([]string, 12)
+	for i := range labels {
+		labels[i] = "ok"
+	}
+	l := core.MustNewLabeled(core.NewInstance(host), labels)
+	ng, err := nbhd.Build(okDecoder, nbhd.FromLabeled(l))
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	views, err := l.Views(1)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	lifted, err := forgetful.LiftWalk(ng, views, walk, false)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	t.AddRow("escape walk (Fig. 8) + lift (Lemma 5.4)",
+		fmt.Sprintf("host C12, |walk|=%d edges, non-backtracking=%v", len(walk)-1, forgetful.IsNonBacktracking(walk)),
+		fmt.Sprintf("lifted to %d views, even length=%v", len(lifted), (len(walk)-1)%2 == 0))
+
+	// Stage 5: the non-backtracking odd-walk search (Lemma 5.5) on the
+	// assembled G_bad's accepting views.
+	ngBad, err := nbhd.Build(okDecoder, nbhd.FromLabeled(gBad))
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	odd := forgetful.FindOddClosedWalk(ngBad, 9, true)
+	if odd == nil {
+		t.Err = fmt.Errorf("no non-backtracking odd closed walk over G_bad's views")
+		return t
+	}
+	t.AddRow("non-backtracking odd walk (Lemma 5.5)", "over G_bad's accepting views",
+		fmt.Sprintf("found, %d edges", len(odd)-1))
+	t.Notes = "Paper: realizable subgraphs of V(D,n) yield instances accepted wherever the " +
+		"views prescribe (Lemma 5.1); measured: the pipeline refutes the strawman decoder " +
+		"without ever constructing the counterexample by hand. This is the executable core of " +
+		"Theorem 1.5's argument."
+	return t
+}

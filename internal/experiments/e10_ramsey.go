@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/orderinv"
+	"hidinglcp/internal/view"
+)
+
+// E10Ramsey reproduces the Section 6 machinery: the finite Ramsey instance
+// R(3,3) = 6 (Lemma 6.1's smallest classical case) and the Lemma 6.2
+// reduction turning an identifier-value-dependent decoder into an
+// order-invariant one that agrees with it on a monochromatic identifier
+// universe.
+func E10Ramsey() Table {
+	t := Table{
+		ID:      "E10",
+		Title:   "Ramsey and the order-invariance reduction (Lemmas 6.1-6.2)",
+		Columns: []string{"stage", "detail", "result"},
+	}
+	if err := orderinv.VerifyRamsey33(); err != nil {
+		t.Err = err
+		return t
+	}
+	t.AddRow("Lemma 6.1 finite slice", "all 2^15 edge 2-colorings of K6 + pentagon witness on K5", "R(3,3) = 6 verified")
+
+	catalog, err := orderinv.PathTemplates(3, []string{"", "", ""}, 1)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	parity := core.NewDecoder(1, false, func(mu *view.View) bool {
+		return mu.IDs[view.Center]%2 == 0
+	})
+	universe := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	mono, typ, err := orderinv.MonochromaticIDs(parity, catalog, universe, 5)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	t.AddRow("monochromatic identifier set", fmt.Sprintf("universe [1,12], catalog of %d templates", len(catalog)),
+		fmt.Sprintf("Y = %v, type %q", mono, typ))
+
+	dPrime := orderinv.OrderInvariantify(parity, mono)
+	inst := core.NewInstance(graph.Path(3))
+	l := core.MustNewLabeled(inst, []string{"", "", ""})
+	idSets := []graph.IDs{{1, 2, 3}, {10, 20, 30}, {5, 7, 11}, {2, 1, 3}}
+	errOriginal := core.CheckOrderInvariant(parity, l, idSets, 40)
+	errPrime := core.CheckOrderInvariant(dPrime, l, idSets, 40)
+	t.AddRow("order invariance", "parity decoder vs reduced D'",
+		fmt.Sprintf("original violates: %v; D' violates: %v", errOriginal != nil, errPrime != nil))
+	if errPrime != nil {
+		t.Err = errPrime
+		return t
+	}
+
+	agree := l
+	agree.IDs = graph.IDs{mono[0], mono[1], mono[2]}
+	agree.NBound = mono[len(mono)-1]
+	outD, err := core.Run(parity, agree)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	outP, err := core.Run(dPrime, agree)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	same := true
+	for v := range outD {
+		if outD[v] != outP[v] {
+			same = false
+		}
+	}
+	t.AddRow("agreement on monochromatic instances", fmt.Sprintf("identifiers %v", agree.IDs),
+		fmt.Sprintf("D = D' at every node: %v", same))
+	t.Notes = "Paper (Lemma 6.2): constant-size certificates admit finitely many types, Ramsey " +
+		"gives an infinite monochromatic identifier set, and relabeling order-preservingly into " +
+		"it yields an order-invariant decoder. Measured: the finite search finds the " +
+		"monochromatic set (the single-parity identifiers, as expected for the parity decoder), " +
+		"and the reduced decoder is order-invariant while agreeing with the original on the set."
+	return t
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/lcl"
+)
+
+// E16PromiseFreeLCL makes the paper's motivating application (Section 1)
+// executable: the LCL Π = "3-color the certificate-valid region" is
+// solvable on every input exactly when the certification scheme is
+// strongly sound. The table runs the solver over honest, adversarial, and
+// counterexample inputs.
+func E16PromiseFreeLCL() Table {
+	t := Table{
+		ID:      "E16",
+		Title:   "promise-free LCL Π (Section 1 motivation)",
+		Columns: []string{"input", "decoder", "accepting nodes", "Π solvable"},
+	}
+
+	solve := func(d core.Decoder, l core.Labeled) (int, bool) {
+		acc, err := core.AcceptingSet(d, l)
+		if err != nil {
+			t.Err = err
+			return 0, false
+		}
+		sol, err := lcl.Solve(d, l)
+		if err != nil {
+			return len(acc), false
+		}
+		if err := lcl.Check(d, l, sol); err != nil {
+			t.Err = fmt.Errorf("solver produced an invalid solution: %w", err)
+			return len(acc), false
+		}
+		return len(acc), true
+	}
+
+	// Honest yes-instances across schemes.
+	honest := []struct {
+		s    core.Scheme
+		name string
+		g    *graph.Graph
+		anon bool
+	}{
+		{decoders.DegreeOne(), "spider (honest)", graph.Spider([]int{2, 3, 2}), true},
+		{decoders.EvenCycle(), "C10 (honest)", graph.MustCycle(10), true},
+		{decoders.Watermelon(), "theta(2,4,2) (honest)", graph.MustWatermelon([]int{2, 4, 2}), false},
+	}
+	for _, h := range honest {
+		var inst core.Instance
+		if h.anon {
+			inst = core.NewAnonymousInstance(h.g)
+		} else {
+			inst = core.NewInstance(h.g)
+		}
+		labels, err := h.s.Prover.Certify(inst)
+		if err != nil {
+			t.Err = err
+			return t
+		}
+		acc, ok := solve(h.s.Decoder, core.MustNewLabeled(inst, labels))
+		if t.Err != nil {
+			return t
+		}
+		t.AddRow(h.name, h.s.Name, fmt.Sprintf("%d/%d", acc, h.g.N()), ok)
+	}
+
+	// Adversarial certificates on non-bipartite graphs: still solvable for
+	// strongly sound decoders — 200 seeded trials summarized in one row.
+	s := decoders.DegreeOne()
+	rng := rand.New(rand.NewSource(99))
+	solvable := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		g := graph.GNP(8, 0.35, rng)
+		inst := core.NewAnonymousInstance(g)
+		labels := make([]string, g.N())
+		for v := range labels {
+			labels[v] = decoders.DegOneAlphabet()[rng.Intn(4)]
+		}
+		if _, ok := solve(s.Decoder, core.MustNewLabeled(inst, labels)); ok {
+			solvable++
+		}
+		if t.Err != nil {
+			return t
+		}
+	}
+	t.AddRow(fmt.Sprintf("%d adversarial GNP inputs", trials), s.Name, "varies", fmt.Sprintf("%d/%d", solvable, trials))
+
+	// The strong-soundness counterexample: literal decoder breaks Π,
+	// patched decoder restores it.
+	cex := literalShatterCounterexample()
+	accLit, okLit := solve(decoders.ShatterLiteral().Decoder, cex)
+	if t.Err != nil {
+		return t
+	}
+	t.AddRow("9-node counterexample", "shatter-literal", fmt.Sprintf("%d/9", accLit), okLit)
+	accPat, okPat := solve(decoders.Shatter().Decoder, cex)
+	if t.Err != nil {
+		return t
+	}
+	t.AddRow("9-node counterexample", "shatter (patched)", fmt.Sprintf("%d/9", accPat), okPat)
+	if okLit || !okPat {
+		t.Err = fmt.Errorf("expected literal=unsolvable, patched=solvable; got %v, %v", okLit, okPat)
+	}
+	t.Notes = "Paper (Section 1): strong soundness is introduced so that the certificate-backed " +
+		"3-coloring LCL is promise-free — valid regions are always 2-colorable, hence " +
+		"3-colorable by an algorithm that never needs the promise. Measured: the solver " +
+		"succeeds on every honest and adversarial input of the strongly sound schemes, fails " +
+		"exactly on the literal shatter decoder's counterexample, and recovers under the patch."
+	return t
+}

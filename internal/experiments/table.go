@@ -1,0 +1,91 @@
+// Package experiments regenerates every verifiable artifact of the paper —
+// its constructions, counterexamples, and certificate-size claims — as
+// structured result tables. Each experiment Exx corresponds to a row of the
+// index in DESIGN.md; cmd/experiments prints them and the repository-root
+// benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a title, column headers, and rows of
+// rendered cells.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md, e.g. "E3".
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carries free-form commentary (deviations, caveats).
+	Notes string
+	// Err records a failure to run the experiment; a non-nil Err means the
+	// table content is incomplete.
+	Err error
+}
+
+// AddRow appends a row, rendering each cell with fmt.Sprint.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as GitHub-flavored markdown.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if t.Err != nil {
+		fmt.Fprintf(&b, "**ERROR:** %v\n\n", t.Err)
+	}
+	if len(t.Columns) > 0 {
+		b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+		sep := make([]string, len(t.Columns))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+		for _, row := range t.Rows {
+			b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		}
+	}
+	if t.Notes != "" {
+		b.WriteString("\n" + t.Notes + "\n")
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() Table
+}
+
+// All returns every experiment in index order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "r-forgetfulness and Lemma 2.1", E1Forgetful},
+		{"E2", "views and compatibility (Fig. 2)", E2Views},
+		{"E3", "DegreeOne scheme (Lemma 4.1, Figs. 3-4)", E3DegreeOne},
+		{"E4", "EvenCycle scheme (Lemma 4.2, Figs. 5-6)", E4EvenCycle},
+		{"E5", "Union scheme (Theorem 1.1)", E5Union},
+		{"E6", "Shatter scheme (Theorem 1.3)", E6Shatter},
+		{"E7", "Watermelon scheme (Theorem 1.4)", E7Watermelon},
+		{"E8", "extraction decoder (Lemma 3.2)", E8Extraction},
+		{"E9", "realizability pipeline (Lemmas 5.1-5.5)", E9Realize},
+		{"E10", "Ramsey and order invariance (Lemmas 6.1-6.2)", E10Ramsey},
+		{"E11", "impossibility slice (Theorem 6.3)", E11Impossibility},
+		{"E12", "hidden-fraction metric (Section 2.4)", E12HiddenFraction},
+		{"E13", "message-passing simulator (Section 2.2)", E13Simulator},
+		{"E14", "certificate-size comparison (baseline)", E14Baseline},
+		{"E15", "k-coloring generalization (extension)", E15KColoring},
+		{"E16", "promise-free LCL application (Section 1)", E16PromiseFreeLCL},
+	}
+}

@@ -1,0 +1,133 @@
+// Package forgetful implements the lower-bound machinery of Sections 2
+// and 5 of the paper: the r-forgetful graph property (Definition in
+// Section 1.3, used by Theorem 1.2/1.5), escape paths, the realizability of
+// view collections, the G_bad assembly of Lemma 5.1, and non-backtracking
+// closed walks (Lemmas 5.4/5.5).
+package forgetful
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/graph"
+)
+
+// EscapePath returns a path (v_0 = v, v_1, ..., v_r) such that for every
+// node w in N^r(u) that is not an interior node of the path itself,
+// dist(v_i, w) is strictly monotonically increasing in i — the "escape
+// without backtracking through u's r-ball" of the r-forgetful definition.
+// It returns nil if no such path exists. The path never runs through u.
+//
+// DEVIATION FROM THE PAPER: the definition in Section 1.3 quantifies over
+// every w ∈ N^r(u) with no exception, but for r >= 2 that is unsatisfiable
+// by ANY graph: the path's own node v_1 lies in N^r(u) (it is at distance
+// <= 2 from u), and dist(v_i, v_1) equals |i - 1|, which is not monotone.
+// Excluding the path's interior nodes {v_1, ..., v_r} from the
+// quantification is the minimal repair; it coincides with the literal
+// definition whenever the literal definition is satisfiable, and both
+// Lemma 2.1 and the walk construction of Lemma 5.4 go through verbatim
+// (their arguments only ever track distances to nodes off the escape path).
+//
+// Since adjacent nodes' distances differ by at most one, strict monotone
+// growth means every step increases the distance to every tracked w by
+// exactly one.
+func EscapePath(g *graph.Graph, v, u, r int) []int {
+	if r <= 0 {
+		return []int{v}
+	}
+	ball := g.Ball(u, r)
+	dist := make(map[int][]int, len(ball))
+	for _, w := range ball {
+		dist[w] = g.BFSDistances(w)
+	}
+	valid := func(path []int) bool {
+		interior := make(map[int]bool, len(path))
+		for _, x := range path[1:] {
+			interior[x] = true
+		}
+		for _, w := range ball {
+			if interior[w] {
+				continue
+			}
+			dw := dist[w]
+			for i, x := range path {
+				if dw[x] == graph.Unreachable || dw[x] != dw[v]+i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Enumerate simple paths of length r from v avoiding u (at most Δ^r of
+	// them) and validate each against the repaired definition.
+	path := []int{v}
+	onPath := map[int]bool{v: true}
+	var found []int
+	var rec func() bool
+	rec = func() bool {
+		if len(path) == r+1 {
+			if valid(path) {
+				found = append([]int(nil), path...)
+				return true
+			}
+			return false
+		}
+		for _, next := range g.Neighbors(path[len(path)-1]) {
+			if next == u || onPath[next] {
+				continue
+			}
+			path = append(path, next)
+			onPath[next] = true
+			if rec() {
+				return true
+			}
+			onPath[next] = false
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	rec()
+	return found
+}
+
+// IsRForgetful reports whether g satisfies the r-forgetful property: for
+// every node v and every neighbor u of v there is an escape path from v
+// with respect to u. The first failing pair is returned as a witness when
+// the property does not hold.
+func IsRForgetful(g *graph.Graph, r int) (ok bool, failV, failU int) {
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if EscapePath(g, v, u, r) == nil {
+				return false, v, u
+			}
+		}
+	}
+	return true, -1, -1
+}
+
+// CheckLemma21 verifies Lemma 2.1 on one graph: if g is r-forgetful, then
+// diam(g) >= 2r+1. It returns an error if the implication fails (which
+// would signal a bug in either the checker or the lemma).
+func CheckLemma21(g *graph.Graph, r int) error {
+	ok, _, _ := IsRForgetful(g, r)
+	if !ok {
+		return nil
+	}
+	if d := g.Diameter(); d != graph.Unreachable && d < 2*r+1 {
+		return fmt.Errorf("graph %v is %d-forgetful but has diameter %d < %d", g, r, d, 2*r+1)
+	}
+	return nil
+}
+
+// FarNode returns a node z whose r-ball is disjoint from the r-balls of
+// both u and v (the view μ' of Lemma 5.4's walk construction), or -1 if
+// none exists.
+func FarNode(g *graph.Graph, u, v, r int) int {
+	du := g.BFSDistances(u)
+	dv := g.BFSDistances(v)
+	for z := 0; z < g.N(); z++ {
+		if du[z] > 2*r && dv[z] > 2*r {
+			return z
+		}
+	}
+	return -1
+}

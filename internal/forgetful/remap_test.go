@@ -1,0 +1,184 @@
+package forgetful
+
+import (
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
+)
+
+// twoHostViews builds views of two P3 instances that SHARE identifier 2 at
+// incompatible occurrences (different labels at the id-2 node), the
+// component-wise situation of Lemma 5.2.
+func twoHostViews(t *testing.T) []*view.View {
+	t.Helper()
+	mk := func(ids graph.IDs, labels []string, center int) *view.View {
+		g := graph.Path(3)
+		inst := core.Instance{G: g, Prt: graph.DefaultPorts(g), IDs: ids, NBound: 9}
+		l := core.MustNewLabeled(inst, labels)
+		mu, err := l.ViewOf(center, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mu
+	}
+	return []*view.View{
+		mk(graph.IDs{1, 2, 3}, []string{"ok", "ok", "ok"}, 1),
+		mk(graph.IDs{4, 2, 5}, []string{"ok", "DIFFERENT", "ok"}, 1),
+	}
+}
+
+func TestIDComponentsSplit(t *testing.T) {
+	// The two host views are NOT adjacent in H (they come from disjoint
+	// instances), so identifier 2's occurrences form two components.
+	h := twoHostViews(t)
+	var noEdges [][2]int
+	comps := IDComponents(h, noEdges, 2)
+	if len(comps) != 2 {
+		t.Fatalf("identifier 2 groups into %d components, want 2", len(comps))
+	}
+	// Identifier 1 occurs once: a single component.
+	if got := IDComponents(h, noEdges, 1); len(got) != 1 {
+		t.Errorf("identifier 1 components = %d, want 1", len(got))
+	}
+	// An absent identifier has no components.
+	if got := IDComponents(h, noEdges, 99); len(got) != 0 {
+		t.Errorf("absent identifier components = %d, want 0", len(got))
+	}
+}
+
+func TestIDComponentsConnectedStayTogether(t *testing.T) {
+	// Views of one instance, adjacent along the host path, form ONE
+	// component of S(2).
+	mk := func(center int) *view.View {
+		g := graph.Path(3)
+		inst := core.Instance{G: g, Prt: graph.DefaultPorts(g), IDs: graph.IDs{1, 2, 3}, NBound: 9}
+		l := core.MustNewLabeled(inst, []string{"ok", "ok", "ok"})
+		mu, err := l.ViewOf(center, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mu
+	}
+	h := []*view.View{mk(0), mk(1), mk(2)}
+	edges := [][2]int{{0, 1}, {1, 2}} // H mirrors the host path
+	if comps := IDComponents(h, edges, 2); len(comps) != 1 {
+		t.Errorf("connected occurrences split into %d components", len(comps))
+	}
+	// Without the H-edges the same occurrences fall apart.
+	if comps := IDComponents(h, nil, 2); len(comps) != 3 {
+		t.Errorf("edgeless S(2) has %d components, want 3", len(comps))
+	}
+}
+
+func TestRemapIDs(t *testing.T) {
+	h := twoHostViews(t)
+	out, err := RemapIDs(h[:1], map[int]int{2: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].LocalNodeWithID(2) != -1 || out[0].LocalNodeWithID(7) < 0 {
+		t.Error("remap did not substitute identifier 2 -> 7")
+	}
+	if h[0].LocalNodeWithID(2) < 0 {
+		t.Error("remap mutated the input view")
+	}
+	// Colliding remap fails.
+	if _, err := RemapIDs(h[:1], map[int]int{2: 1}); err == nil {
+		t.Error("collision with identifier 1 accepted")
+	}
+}
+
+// TestLemma52Pipeline: the split makes an unrealizable collection
+// realizable for an order-invariant decoder, after which G_bad assembles —
+// the executable form of Lemma 5.2.
+func TestLemma52Pipeline(t *testing.T) {
+	h := twoHostViews(t)
+	anchors, err := NewAnchors(h...)
+	if err != nil {
+		// Both views have the same center identifier (2)? No: centers are
+		// both the middle node with ids 2 and 2 — duplicate anchors are
+		// expected here; split FIRST, then anchor.
+		t.Logf("pre-split anchors fail as expected: %v", err)
+	}
+	split, used, err := SplitIdentifier(h, nil, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 1 {
+		t.Fatalf("used %d fresh identifiers, want 1", used)
+	}
+	anchors, err = NewAnchors(split...)
+	if err != nil {
+		t.Fatalf("anchors after split: %v", err)
+	}
+	// The centers' neighbor identifiers (1,3,4,5) need anchors too before
+	// BuildGBad can assemble; supply degree-1 leaf views from the hosts.
+	leafViews := leafAnchors(t, split)
+	all := append(append([]*view.View{}, split...), leafViews...)
+	anchors, err = NewAnchors(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRealizable(all, anchors); err != nil {
+		t.Fatalf("split collection still unrealizable: %v", err)
+	}
+	gBad, _, err := BuildGBad(anchors, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint P3s: 6 nodes, 4 edges.
+	if gBad.G.N() != 6 || gBad.G.M() != 4 {
+		t.Errorf("G_bad = %v, want two disjoint paths", gBad.G)
+	}
+}
+
+// leafAnchors reconstructs the degree-1 views matching the split centers'
+// host instances.
+func leafAnchors(t *testing.T, centers []*view.View) []*view.View {
+	t.Helper()
+	var out []*view.View
+	for _, mu := range centers {
+		g := graph.Path(3)
+		ids := make(graph.IDs, 3)
+		labels := make([]string, 3)
+		// Center view of a P3 middle node: local 0 = center, locals 1, 2 =
+		// the leaves in host order.
+		ids[1] = mu.IDs[view.Center]
+		labels[1] = mu.Labels[view.Center]
+		for _, w := range mu.Adj[view.Center] {
+			p, _ := mu.Port(view.Center, w)
+			host := 0
+			if p == 2 {
+				host = 2
+			}
+			ids[host] = mu.IDs[w]
+			labels[host] = mu.Labels[w]
+		}
+		inst := core.Instance{G: g, Prt: graph.DefaultPorts(g), IDs: ids, NBound: mu.NBound}
+		l := core.MustNewLabeled(inst, labels)
+		for _, leaf := range []int{0, 2} {
+			lv, err := l.ViewOf(leaf, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, lv)
+		}
+	}
+	return out
+}
+
+func TestSplitIdentifierNoop(t *testing.T) {
+	h := twoHostViews(t)
+	out, used, err := SplitIdentifier(h, nil, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 0 {
+		t.Errorf("single-component identifier used %d fresh ids", used)
+	}
+	if out[0] != h[0] || out[1] != h[1] {
+		t.Error("no-op split copied views")
+	}
+}

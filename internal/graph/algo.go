@@ -1,0 +1,216 @@
+package graph
+
+import "fmt"
+
+// Unreachable is the distance value reported for node pairs in different
+// connected components.
+const Unreachable = -1
+
+// BFSDistances returns the distance from src to every node, with Unreachable
+// (-1) for nodes in other components.
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == Unreachable {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or Unreachable if they are
+// in different components.
+func (g *Graph) Dist(u, v int) int {
+	return g.BFSDistances(u)[v]
+}
+
+// Ball returns the sorted set N^r(v) of nodes at distance at most r from v.
+func (g *Graph) Ball(v, r int) []int {
+	dist := g.BFSDistances(v)
+	ball := make([]int, 0)
+	for w, d := range dist {
+		if d != Unreachable && d <= r {
+			ball = append(ball, w)
+		}
+	}
+	return ball
+}
+
+// ShortestPath returns some shortest path from u to v inclusive of both
+// endpoints, or nil if v is unreachable from u.
+func (g *Graph) ShortestPath(u, v int) []int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return nil
+	}
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[u] = -1
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			break
+		}
+		for _, w := range g.adj[x] {
+			if parent[w] == -2 {
+				parent[w] = x
+				queue = append(queue, w)
+			}
+		}
+	}
+	if parent[v] == -2 {
+		return nil
+	}
+	var rev []int
+	for x := v; x != -1; x = parent[x] {
+		rev = append(rev, x)
+	}
+	path := make([]int, len(rev))
+	for i, x := range rev {
+		path[len(rev)-1-i] = x
+	}
+	return path
+}
+
+// Connected reports whether g is connected. The empty graph and singletons
+// are connected.
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.BFSDistances(0)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of g as sorted node lists,
+// ordered by their smallest node.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		var comp []int
+		queue := []int{v}
+		seen[v] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			comp = append(comp, x)
+			for _, w := range g.adj[x] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, sortedCopy(comp))
+	}
+	return comps
+}
+
+func sortedCopy(s []int) []int {
+	c := append([]int(nil), s...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j-1] > c[j]; j-- {
+			c[j-1], c[j] = c[j], c[j-1]
+		}
+	}
+	return c
+}
+
+// Diameter returns the diameter of g (the maximum pairwise distance), or
+// Unreachable if g is disconnected, or 0 if g has at most one node.
+func (g *Graph) Diameter() int {
+	if g.n <= 1 {
+		return 0
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.BFSDistances(v) {
+			if d == Unreachable {
+				return Unreachable
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// IsCycleGraph reports whether g is a single cycle: connected, n >= 3, and
+// every node has degree exactly 2.
+func (g *Graph) IsCycleGraph() bool {
+	if g.n < 3 || !g.Connected() {
+		return false
+	}
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPathGraph reports whether g is a simple path: connected, with exactly two
+// nodes of degree 1 and the rest of degree 2 (or a single node/edge).
+func (g *Graph) IsPathGraph() bool {
+	if !g.Connected() {
+		return false
+	}
+	switch g.n {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	deg1 := 0
+	for v := 0; v < g.n; v++ {
+		switch g.Degree(v) {
+		case 1:
+			deg1++
+		case 2:
+		default:
+			return false
+		}
+	}
+	return deg1 == 2
+}
+
+// CountCycles returns the cycle rank (circuit rank) of g: m - n + c, the
+// number of independent cycles. A connected graph has at least two cycles in
+// the sense of Section 5.2 of the paper iff its cycle rank is at least 2.
+func (g *Graph) CountCycles() int {
+	return g.M() - g.n + len(g.Components())
+}
+
+// ValidateNode returns an error if v is not a node of g.
+func (g *Graph) ValidateNode(v int) error {
+	if v < 0 || v >= g.n {
+		return fmt.Errorf("node %d out of range [0,%d)", v, g.n)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraph6RoundTrip(t *testing.T) {
+	corpus := []*Graph{
+		New(0), New(1), New(5),
+		Path(4), MustCycle(5), Complete(4), Petersen(), Grid(3, 4),
+		CompleteBipartite(2, 3), Star(7),
+	}
+	for _, g := range corpus {
+		s, err := g.Graph6()
+		if err != nil {
+			t.Fatalf("%v: %v", g, err)
+		}
+		back, err := ParseGraph6(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if !g.Equal(back) {
+			t.Errorf("round trip lost structure: %v -> %q -> %v", g, s, back)
+		}
+	}
+}
+
+func TestGraph6KnownValues(t *testing.T) {
+	// The canonical examples from the format specification: the 5-cycle
+	// 0-1-2-3-4-0 encodes as "DQc" ... verify against a hand-computed
+	// value: upper-triangle column-order bits for C5 are
+	// (01)1 (02)0 (12)1 (03)0 (13)0 (23)1 (04)1 (14)0 (24)0 (34)1.
+	g := MustCycle(5)
+	s, err := g.Graph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=5 -> 'D'; bits 101001 -> 41+63=104='h'; 1001(00) -> 36+63=99='c'.
+	if s != "Dhc" {
+		t.Errorf("C5 graph6 = %q, want %q", s, "Dhc")
+	}
+}
+
+func TestParseGraph6Errors(t *testing.T) {
+	bad := []string{"", "D", "Dhcc", string(rune(1)), "D\x01\x01"}
+	for _, s := range bad {
+		if _, err := ParseGraph6(s); err == nil {
+			t.Errorf("ParseGraph6(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestGraph6TooLarge(t *testing.T) {
+	if _, err := New(63).Graph6(); err == nil {
+		t.Error("graph6 of 63 nodes accepted")
+	}
+}
+
+// Property: graph6 round-trips on random graphs.
+func TestGraph6RoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := GNP(2+rng.Intn(12), 0.4, rng)
+		s, err := g.Graph6()
+		if err != nil {
+			return false
+		}
+		back, err := ParseGraph6(s)
+		if err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Path(3)
+	out := g.DOT("demo", []string{"a", "", "c"})
+	for _, want := range []string{"graph demo {", `n0 [label="a"]`, "n1;", `n2 [label="c"]`, "n0 -- n1;", "n1 -- n2;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCanonicalGraph6(t *testing.T) {
+	// Isomorphic graphs share a canonical form; non-isomorphic ones don't.
+	a := Path(4)
+	b := MustFromEdges(4, [][2]int{{2, 0}, {0, 3}, {3, 1}}) // relabeled P4
+	c := Star(4)
+	ca, err := a.CanonicalGraph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.CanonicalGraph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.CanonicalGraph6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Errorf("isomorphic paths canonicalize differently: %q vs %q", ca, cb)
+	}
+	if ca == cc {
+		t.Error("path and star share a canonical form")
+	}
+	if _, err := New(9).CanonicalGraph6(); err == nil {
+		t.Error("canonical form for 9 nodes accepted")
+	}
+}
+
+// Property: canonical form is invariant under random relabeling.
+func TestCanonicalGraph6Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		g := GNP(n, 0.5, rng)
+		perm := rng.Perm(n)
+		h := New(n)
+		for _, e := range g.Edges() {
+			if err := h.AddEdge(perm[e[0]], perm[e[1]]); err != nil {
+				return false
+			}
+		}
+		cg, err1 := g.CanonicalGraph6()
+		ch, err2 := h.CanonicalGraph6()
+		return err1 == nil && err2 == nil && cg == ch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedDegrees(t *testing.T) {
+	// Spider(2,1): center (deg 2), a 2-edge leg (middle deg 2, tip deg 1),
+	// and a 1-edge leg (tip deg 1).
+	g := Spider([]int{2, 1})
+	got := g.SortedDegrees()
+	want := []int{1, 1, 2, 2}
+	if len(got) != len(want) {
+		t.Fatalf("SortedDegrees = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedDegrees = %v, want %v", got, want)
+		}
+	}
+}

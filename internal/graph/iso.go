@@ -1,0 +1,66 @@
+package graph
+
+// Isomorphic reports whether g and h are isomorphic, by degree-pruned
+// backtracking. Exponential in the worst case; intended for the small graphs
+// this library enumerates.
+func Isomorphic(g, h *Graph) bool {
+	if g.N() != h.N() || g.M() != h.M() {
+		return false
+	}
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	if !sameDegreeSequence(g, h) {
+		return false
+	}
+	mapping := make([]int, n) // mapping[v in g] = node in h
+	used := make([]bool, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == n {
+			return true
+		}
+		for w := 0; w < n; w++ {
+			if used[w] || g.Degree(v) != h.Degree(w) {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if g.HasEdge(v, u) != h.HasEdge(w, mapping[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = w
+			used[w] = true
+			if rec(v + 1) {
+				return true
+			}
+			mapping[v] = -1
+			used[w] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func sameDegreeSequence(g, h *Graph) bool {
+	count := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		count[g.Degree(v)]++
+		count[h.Degree(v)]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

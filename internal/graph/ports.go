@@ -1,0 +1,160 @@
+package graph
+
+import "fmt"
+
+// Ports is a port assignment in the sense of Section 2.2: at every node v,
+// the incident edges are numbered bijectively with 1..deg(v). Port numbers
+// are 1-based, exactly as in the paper.
+type Ports struct {
+	// nbrByPort[v][p-1] is the neighbor of v reached through port p.
+	nbrByPort [][]int
+	// portTo[v] maps a neighbor w of v to the port number of edge {v,w} at v.
+	portTo []map[int]int
+}
+
+// DefaultPorts assigns port numbers in increasing neighbor order: the i-th
+// smallest neighbor of v is behind port i.
+func DefaultPorts(g *Graph) *Ports {
+	perm := make([][]int, g.N())
+	for v := range perm {
+		ids := make([]int, g.Degree(v))
+		for i := range ids {
+			ids[i] = i
+		}
+		perm[v] = ids
+	}
+	p, err := PortsFromPerm(g, perm)
+	if err != nil {
+		// Identity permutations are always valid for the graph they were
+		// derived from; reaching this indicates a bug in this package.
+		panic(fmt.Sprintf("graph.DefaultPorts: %v", err))
+	}
+	return p
+}
+
+// PortsFromPerm builds a port assignment from per-node permutations: port p
+// of node v leads to the perm[v][p-1]-th smallest neighbor of v. It returns
+// an error if perm has the wrong shape or any perm[v] is not a permutation
+// of 0..deg(v)-1.
+func PortsFromPerm(g *Graph, perm [][]int) (*Ports, error) {
+	if len(perm) != g.N() {
+		return nil, fmt.Errorf("perm has %d rows, want %d", len(perm), g.N())
+	}
+	ports := &Ports{
+		nbrByPort: make([][]int, g.N()),
+		portTo:    make([]map[int]int, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		deg := g.Degree(v)
+		if len(perm[v]) != deg {
+			return nil, fmt.Errorf("perm[%d] has %d entries, want deg=%d", v, len(perm[v]), deg)
+		}
+		seen := make([]bool, deg)
+		ports.nbrByPort[v] = make([]int, deg)
+		ports.portTo[v] = make(map[int]int, deg)
+		for p0, idx := range perm[v] {
+			if idx < 0 || idx >= deg || seen[idx] {
+				return nil, fmt.Errorf("perm[%d] is not a permutation of 0..%d", v, deg-1)
+			}
+			seen[idx] = true
+			w := g.Neighbors(v)[idx]
+			ports.nbrByPort[v][p0] = w
+			ports.portTo[v][w] = p0 + 1
+		}
+	}
+	return ports, nil
+}
+
+// NeighborAt returns the neighbor of v behind port p (1-based), or an error
+// if p is not a valid port of v.
+func (pt *Ports) NeighborAt(v, p int) (int, error) {
+	if v < 0 || v >= len(pt.nbrByPort) {
+		return 0, fmt.Errorf("node %d out of range", v)
+	}
+	if p < 1 || p > len(pt.nbrByPort[v]) {
+		return 0, fmt.Errorf("port %d out of range [1,%d] at node %d", p, len(pt.nbrByPort[v]), v)
+	}
+	return pt.nbrByPort[v][p-1], nil
+}
+
+// Port returns prt(v, {v,w}): the port number of edge {v,w} at v, or an
+// error if w is not a neighbor of v.
+func (pt *Ports) Port(v, w int) (int, error) {
+	if v < 0 || v >= len(pt.portTo) {
+		return 0, fmt.Errorf("node %d out of range", v)
+	}
+	p, ok := pt.portTo[v][w]
+	if !ok {
+		return 0, fmt.Errorf("%d is not a neighbor of %d", w, v)
+	}
+	return p, nil
+}
+
+// MustPort is Port but panics on error; for use where {v,w} is an edge by
+// construction.
+func (pt *Ports) MustPort(v, w int) int {
+	p, err := pt.Port(v, w)
+	if err != nil {
+		panic(fmt.Sprintf("graph.MustPort: %v", err))
+	}
+	return p
+}
+
+// DegreeOf returns the number of ports at v.
+func (pt *Ports) DegreeOf(v int) int { return len(pt.nbrByPort[v]) }
+
+// Restrict returns the port assignment induced on the subgraph sub of the
+// original graph, where orig maps sub's nodes to original nodes (as returned
+// by Graph.InducedSubgraph). Ports of surviving edges keep their original
+// numbers; this is the restriction used when forming views.
+//
+// Note the result is not a valid Ports for sub in the Section 2.2 sense
+// (port numbers may exceed the induced degree); it is a partial map kept for
+// view bookkeeping. Use PortView for read access.
+func (pt *Ports) Restrict(sub *Graph, orig []int) *PortView {
+	pv := &PortView{port: make(map[[2]int]int)}
+	for _, e := range sub.Edges() {
+		u, v := orig[e[0]], orig[e[1]]
+		pv.port[[2]int{e[0], e[1]}] = pt.MustPort(u, v)
+		pv.port[[2]int{e[1], e[0]}] = pt.MustPort(v, u)
+	}
+	return pv
+}
+
+// PortView is a partial, read-only port map over the nodes of a view.
+type PortView struct {
+	port map[[2]int]int
+}
+
+// Port returns the port number of the ordered pair (v, w) and whether it is
+// present.
+func (pv *PortView) Port(v, w int) (int, bool) {
+	p, ok := pv.port[[2]int{v, w}]
+	return p, ok
+}
+
+// Validate checks that pt is a consistent port assignment for g.
+func (pt *Ports) Validate(g *Graph) error {
+	if len(pt.nbrByPort) != g.N() {
+		return fmt.Errorf("ports cover %d nodes, graph has %d", len(pt.nbrByPort), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(pt.nbrByPort[v]) != g.Degree(v) {
+			return fmt.Errorf("node %d has %d ports, want deg=%d", v, len(pt.nbrByPort[v]), g.Degree(v))
+		}
+		seen := make(map[int]bool, g.Degree(v))
+		for p0, w := range pt.nbrByPort[v] {
+			if !g.HasEdge(v, w) {
+				return fmt.Errorf("port %d of node %d points to non-neighbor %d", p0+1, v, w)
+			}
+			if seen[w] {
+				return fmt.Errorf("node %d has two ports to neighbor %d", v, w)
+			}
+			seen[w] = true
+			if got := pt.portTo[v][w]; got != p0+1 {
+				return fmt.Errorf("inconsistent reverse map at node %d neighbor %d: %d != %d", v, w, got, p0+1)
+			}
+		}
+	}
+	return nil
+}

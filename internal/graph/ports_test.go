@@ -1,0 +1,149 @@
+package graph
+
+import "testing"
+
+func TestDefaultPorts(t *testing.T) {
+	g := Star(4)
+	pt := DefaultPorts(g)
+	if err := pt.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Center 0 has neighbors 1,2,3 behind ports 1,2,3.
+	for p := 1; p <= 3; p++ {
+		w, err := pt.NeighborAt(0, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != p {
+			t.Errorf("NeighborAt(0,%d) = %d, want %d", p, w, p)
+		}
+	}
+	if got := pt.MustPort(1, 0); got != 1 {
+		t.Errorf("MustPort(1,0) = %d, want 1", got)
+	}
+}
+
+func TestPortsFromPermErrors(t *testing.T) {
+	g := Path(3)
+	tests := []struct {
+		name string
+		perm [][]int
+	}{
+		{"wrong rows", [][]int{{0}}},
+		{"wrong row len", [][]int{{0}, {0}, {0}}},
+		{"not a permutation", [][]int{{0}, {0, 0}, {0}}},
+		{"out of range", [][]int{{1}, {0, 1}, {0}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := PortsFromPerm(g, tt.perm); err == nil {
+				t.Error("invalid permutation accepted")
+			}
+		})
+	}
+}
+
+func TestPortsFromPermReversed(t *testing.T) {
+	g := Path(3) // node 1 has neighbors [0, 2]
+	pt, err := PortsFromPerm(g, [][]int{{0}, {1, 0}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Port 1 of node 1 now leads to neighbor index 1, i.e. node 2.
+	w, err := pt.NeighborAt(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("NeighborAt(1,1) = %d, want 2", w)
+	}
+	if pt.MustPort(1, 0) != 2 {
+		t.Errorf("MustPort(1,0) = %d, want 2", pt.MustPort(1, 0))
+	}
+}
+
+func TestPortErrors(t *testing.T) {
+	g := Path(3)
+	pt := DefaultPorts(g)
+	if _, err := pt.NeighborAt(0, 5); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if _, err := pt.NeighborAt(-1, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := pt.Port(0, 2); err == nil {
+		t.Error("non-neighbor port lookup succeeded")
+	}
+	if _, err := pt.Port(17, 0); err == nil {
+		t.Error("out-of-range node accepted in Port")
+	}
+}
+
+func TestPortRoundTrip(t *testing.T) {
+	g := Grid(3, 3)
+	pt := DefaultPorts(g)
+	for v := 0; v < g.N(); v++ {
+		for p := 1; p <= pt.DegreeOf(v); p++ {
+			w, err := pt.NeighborAt(v, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := pt.Port(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != p {
+				t.Errorf("port round trip at (%d,%d): got %d", v, p, back)
+			}
+		}
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	g := MustCycle(5)
+	pt := DefaultPorts(g)
+	sub, orig := g.InducedSubgraph([]int{0, 1, 2})
+	pv := pt.Restrict(sub, orig)
+	// Edge 0-1 in sub corresponds to 0-1 in g.
+	p, ok := pv.Port(0, 1)
+	if !ok {
+		t.Fatal("restricted port missing for surviving edge")
+	}
+	if want := pt.MustPort(0, 1); p != want {
+		t.Errorf("restricted port = %d, want %d", p, want)
+	}
+	if _, ok := pv.Port(0, 2); ok {
+		t.Error("restricted port present for non-edge")
+	}
+}
+
+func TestEnumPortsCount(t *testing.T) {
+	// Path on 3 nodes: degrees 1,2,1 -> 1!*2!*1! = 2 port assignments.
+	g := Path(3)
+	count := 0
+	EnumPorts(g, func(pt *Ports) bool {
+		if err := pt.Validate(g); err != nil {
+			t.Fatalf("enumerated invalid ports: %v", err)
+		}
+		count++
+		return true
+	})
+	if count != 2 {
+		t.Errorf("enumerated %d port assignments, want 2", count)
+	}
+}
+
+func TestEnumPortsEarlyStop(t *testing.T) {
+	g := MustCycle(4) // 2^4 = 16 assignments
+	count := 0
+	EnumPorts(g, func(*Ports) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after %d, want 3", count)
+	}
+}

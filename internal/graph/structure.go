@@ -1,0 +1,114 @@
+package graph
+
+// Girth returns the length of a shortest cycle of g, or Unreachable (-1)
+// for forests. Computed by BFS from every node (O(n·m)).
+func (g *Graph) Girth() int {
+	best := -1
+	for s := 0; s < g.n; s++ {
+		dist := make([]int, g.n)
+		parent := make([]int, g.n)
+		for i := range dist {
+			dist[i] = Unreachable
+			parent[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if dist[w] == Unreachable {
+					dist[w] = dist[v] + 1
+					parent[w] = v
+					queue = append(queue, w)
+					continue
+				}
+				if w == parent[v] {
+					continue
+				}
+				// Non-tree edge: cycle through s of length at most
+				// dist[v] + dist[w] + 1.
+				cyc := dist[v] + dist[w] + 1
+				if best == -1 || cyc < best {
+					best = cyc
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return Unreachable
+	}
+	return best
+}
+
+// CutVertices returns the articulation points of g (nodes whose removal
+// increases the number of connected components), sorted ascending, via the
+// classical low-link DFS.
+func (g *Graph) CutVertices() []int {
+	disc := make([]int, g.n)
+	low := make([]int, g.n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	isCut := make([]bool, g.n)
+	timer := 0
+	var dfs func(v, parent int)
+	dfs = func(v, parent int) {
+		disc[v] = timer
+		low[v] = timer
+		timer++
+		children := 0
+		for _, w := range g.adj[v] {
+			if w == parent {
+				continue
+			}
+			if disc[w] != -1 {
+				if disc[w] < low[v] {
+					low[v] = disc[w]
+				}
+				continue
+			}
+			children++
+			dfs(w, v)
+			if low[w] < low[v] {
+				low[v] = low[w]
+			}
+			if parent != -1 && low[w] >= disc[v] {
+				isCut[v] = true
+			}
+		}
+		if parent == -1 && children > 1 {
+			isCut[v] = true
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if disc[v] == -1 {
+			dfs(v, -1)
+		}
+	}
+	var out []int
+	for v, c := range isCut {
+		if c {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsTree reports whether g is a tree: connected and acyclic.
+func (g *Graph) IsTree() bool {
+	return g.Connected() && g.M() == g.n-1 && g.n > 0
+}
+
+// Complement returns the complement graph of g.
+func (g *Graph) Complement() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				mustAddEdge(c, u, v)
+			}
+		}
+	}
+	return c
+}

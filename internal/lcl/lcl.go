@@ -1,0 +1,78 @@
+// Package lcl implements the paper's motivating application (Section 1):
+// the locally checkable labeling problem Π = "output a proper 3-coloring on
+// the parts of the graph where a 2-colorability certificate is valid". The
+// paper introduces strong soundness precisely so that Π is promise-free
+// solvable: on ANY input graph with ANY certificate assignment, the nodes
+// the certificate convinces induce a 2-colorable subgraph, so a 3-coloring
+// of the valid parts always exists (and an online-LOCAL algorithm can find
+// one, while hiding is meant to defeat SLOCAL algorithms).
+//
+// This package makes the connection executable: the task definition, a
+// constraint checker, and a solver whose success on every input is exactly
+// the decoder's strong soundness — it fails precisely on strong-soundness
+// counterexamples such as the literal Theorem 1.3 decoder's.
+package lcl
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/core"
+)
+
+// Colors is the palette size of the target labeling (the paper's
+// 3-coloring).
+const Colors = 3
+
+// Solution is a per-node color assignment in [0, Colors).
+type Solution []int
+
+// Check verifies the Π constraints for decoder d on the labeled instance:
+// every node outputs a color in [0, Colors), and every edge whose BOTH
+// endpoints accept their certificate neighborhood is bichromatic. Edges
+// with a rejecting endpoint are unconstrained (that part of the graph has
+// no valid certificate, so the promise-free task demands nothing there).
+func Check(d core.Decoder, l core.Labeled, sol Solution) error {
+	if len(sol) != l.G.N() {
+		return fmt.Errorf("solution covers %d nodes, graph has %d", len(sol), l.G.N())
+	}
+	for v, c := range sol {
+		if c < 0 || c >= Colors {
+			return fmt.Errorf("node %d has color %d outside [0,%d)", v, c, Colors)
+		}
+	}
+	accepting, err := core.Run(d, l)
+	if err != nil {
+		return err
+	}
+	for _, e := range l.G.Edges() {
+		if accepting[e[0]] && accepting[e[1]] && sol[e[0]] == sol[e[1]] {
+			return fmt.Errorf("monochromatic edge {%d,%d} inside the certificate-valid region", e[0], e[1])
+		}
+	}
+	return nil
+}
+
+// Solve produces a Π solution by 2-coloring the accepting-induced subgraph
+// and assigning the third color everywhere else — the move the paper's
+// online-LOCAL separation sketch relies on. It succeeds on EVERY input iff
+// the decoder is strongly sound; on a strong-soundness counterexample the
+// accepting region is not bipartite and Solve reports the failure.
+func Solve(d core.Decoder, l core.Labeled) (Solution, error) {
+	accepting, err := core.AcceptingSet(d, l)
+	if err != nil {
+		return nil, err
+	}
+	sub, orig := l.G.InducedSubgraph(accepting)
+	twoColoring, ok := sub.TwoColoring()
+	if !ok {
+		return nil, fmt.Errorf("certificate-valid region is not bipartite: the decoder is not strongly sound on this instance")
+	}
+	sol := make(Solution, l.G.N())
+	for i := range sol {
+		sol[i] = 2 // the spare color for unconstrained nodes
+	}
+	for i, c := range twoColoring {
+		sol[orig[i]] = c
+	}
+	return sol, nil
+}

@@ -1,0 +1,130 @@
+package lcl
+
+import (
+	"math/rand"
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+)
+
+func TestSolveOnCertifiedInstances(t *testing.T) {
+	// On honestly certified yes-instances the whole graph accepts and Solve
+	// must produce a coloring proper everywhere.
+	runs := []struct {
+		s    core.Scheme
+		g    *graph.Graph
+		anon bool
+	}{
+		{decoders.DegreeOne(), graph.Spider([]int{2, 3, 2}), true},
+		{decoders.EvenCycle(), graph.MustCycle(8), true},
+		{decoders.Shatter(), graph.Grid(3, 4), false},
+		{decoders.Watermelon(), graph.MustWatermelon([]int{2, 4, 2}), false},
+	}
+	for _, r := range runs {
+		var inst core.Instance
+		if r.anon {
+			inst = core.NewAnonymousInstance(r.g)
+		} else {
+			inst = core.NewInstance(r.g)
+		}
+		labels, err := r.s.Prover.Certify(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", r.s.Name, err)
+		}
+		l := core.MustNewLabeled(inst, labels)
+		sol, err := Solve(r.s.Decoder, l)
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", r.s.Name, err)
+		}
+		if err := Check(r.s.Decoder, l, sol); err != nil {
+			t.Errorf("%s: Check: %v", r.s.Name, err)
+		}
+	}
+}
+
+// TestSolvePromiseFree is the paper's point: Solve succeeds on ARBITRARY
+// graphs with ARBITRARY (adversarial) certificates, because strong
+// soundness keeps the certificate-valid region 2-colorable.
+func TestSolvePromiseFree(t *testing.T) {
+	s := decoders.DegreeOne()
+	rng := rand.New(rand.NewSource(41))
+	gen := func(_ int, rng *rand.Rand) string {
+		return decoders.DegOneAlphabet()[rng.Intn(4)]
+	}
+	for trial := 0; trial < 150; trial++ {
+		g := graph.GNP(8, 0.35, rng)
+		inst := core.NewAnonymousInstance(g)
+		labels := make([]string, g.N())
+		for v := range labels {
+			labels[v] = gen(v, rng)
+		}
+		l := core.MustNewLabeled(inst, labels)
+		sol, err := Solve(s.Decoder, l)
+		if err != nil {
+			t.Fatalf("trial %d: Solve failed on adversarial input: %v", trial, err)
+		}
+		if err := Check(s.Decoder, l, sol); err != nil {
+			t.Fatalf("trial %d: Check: %v", trial, err)
+		}
+	}
+}
+
+// TestSolveFailsWithoutStrongSoundness: on the literal Theorem 1.3
+// decoder's counterexample the certificate-valid region contains an odd
+// cycle and the bipartite-based solver must fail — the executable reason
+// the paper demands strong (not plain) soundness.
+func TestSolveFailsWithoutStrongSoundness(t *testing.T) {
+	lit := decoders.ShatterLiteral()
+	g := graph.MustFromEdges(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {5, 7}, {7, 8}, {8, 1},
+	})
+	inst := core.NewInstance(g)
+	labels := []string{
+		decoders.ShatterPointLabelLiteral(1),
+		decoders.ShatterNeighborLabel(1, []int{0, 0}),
+		decoders.ShatterCompLabel(1, 1, 0),
+		decoders.ShatterCompLabel(1, 1, 1),
+		decoders.ShatterCompLabel(1, 1, 0),
+		decoders.ShatterNeighborLabel(1, []int{0, 1}),
+		decoders.ShatterPointLabelLiteral(1),
+		decoders.ShatterCompLabel(1, 2, 1),
+		decoders.ShatterCompLabel(1, 2, 0),
+	}
+	l := core.MustNewLabeled(inst, labels)
+	if _, err := Solve(lit.Decoder, l); err == nil {
+		t.Fatal("Solve succeeded although the accepted region is an odd cycle")
+	}
+	// The patched decoder restores solvability on the same input.
+	patched := decoders.Shatter()
+	sol, err := Solve(patched.Decoder, l)
+	if err != nil {
+		t.Fatalf("patched decoder: %v", err)
+	}
+	if err := Check(patched.Decoder, l, sol); err != nil {
+		t.Errorf("patched decoder: %v", err)
+	}
+}
+
+func TestCheckRejectsBadSolutions(t *testing.T) {
+	s := decoders.EvenCycle()
+	inst := core.NewAnonymousInstance(graph.MustCycle(4))
+	labels, err := s.Prover.Certify(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.MustNewLabeled(inst, labels)
+	if err := Check(s.Decoder, l, Solution{0, 0, 1, 1}); err == nil {
+		t.Error("monochromatic accepted edge passed Check")
+	}
+	if err := Check(s.Decoder, l, Solution{0, 1}); err == nil {
+		t.Error("short solution passed Check")
+	}
+	if err := Check(s.Decoder, l, Solution{0, 1, 0, 5}); err == nil {
+		t.Error("out-of-palette color passed Check")
+	}
+	if err := Check(s.Decoder, l, Solution{0, 1, 0, 1}); err != nil {
+		t.Errorf("valid solution rejected: %v", err)
+	}
+}

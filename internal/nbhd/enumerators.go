@@ -1,0 +1,139 @@
+package nbhd
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+)
+
+// FromLabeled returns an enumerator over a fixed list of labeled instances,
+// e.g. the hand-built instance pairs from the paper's hiding proofs
+// (Figs. 3, 5, and the P8/P7 and two-ID constructions of Section 7).
+func FromLabeled(insts ...core.Labeled) Enumerator {
+	return func(yield func(core.Labeled) bool) error {
+		for _, l := range insts {
+			if err := l.Validate(); err != nil {
+				return fmt.Errorf("instance %v: %w", l.G, err)
+			}
+			if !yield(l) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// ProverLabeled returns an enumerator that labels each instance with the
+// scheme prover's certificate. Instances the prover rejects produce an
+// error (they are outside the promise class and should not be enumerated).
+func ProverLabeled(s core.Scheme, insts ...core.Instance) Enumerator {
+	return func(yield func(core.Labeled) bool) error {
+		for _, inst := range insts {
+			labels, err := s.Prover.Certify(inst)
+			if err != nil {
+				return fmt.Errorf("prover on %v: %w", inst.G, err)
+			}
+			l, err := core.NewLabeled(inst, labels)
+			if err != nil {
+				return err
+			}
+			if !yield(l) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// AllLabelings returns an enumerator producing every labeling of every
+// instance over the given alphabet (|alphabet|^n labelings per instance).
+// This is the Lemma 3.1 search restricted to a family and an alphabet;
+// callers keep instances small.
+func AllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
+	return func(yield func(core.Labeled) bool) error {
+		for _, inst := range insts {
+			stopped := false
+			graph.EnumLabelings(inst.G.N(), len(alphabet), func(idx []int) bool {
+				labels := make([]string, inst.G.N())
+				for v, a := range idx {
+					labels[v] = alphabet[a]
+				}
+				if !yield(core.MustNewLabeled(inst, labels)) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// AllPortsAllLabelings extends AllLabelings by also ranging over every port
+// assignment of every instance graph. Exponential in both; micro universes
+// only.
+func AllPortsAllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
+	return func(yield func(core.Labeled) bool) error {
+		for _, inst := range insts {
+			stopped := false
+			graph.EnumPorts(inst.G, func(pt *graph.Ports) bool {
+				withPorts := inst.WithPorts(pt)
+				inner := AllLabelings(alphabet, withPorts)
+				if err := inner(func(l core.Labeled) bool {
+					if !yield(l) {
+						stopped = true
+						return false
+					}
+					return true
+				}); err != nil {
+					panic(fmt.Sprintf("nbhd.AllPortsAllLabelings: %v", err))
+				}
+				return !stopped
+			})
+			if stopped {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// Chain concatenates enumerators.
+func Chain(enums ...Enumerator) Enumerator {
+	return func(yield func(core.Labeled) bool) error {
+		for _, e := range enums {
+			stopped := false
+			if err := e(func(l core.Labeled) bool {
+				if !yield(l) {
+					stopped = true
+					return false
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			if stopped {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// ClassInstances builds anonymous instances (default ports, no IDs) from a
+// list of graphs, filtered by pred (pass nil for no filter). It is a
+// convenience for assembling promise-class families.
+func ClassInstances(gs []*graph.Graph, pred func(*graph.Graph) bool) []core.Instance {
+	var out []core.Instance
+	for _, g := range gs {
+		if pred != nil && !pred(g) {
+			continue
+		}
+		out = append(out, core.NewAnonymousInstance(g))
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package nbhd
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/view"
+)
+
+// Extractor is the extraction decoder D' of Lemma 3.2: from a proper
+// k-coloring of V(D, n) it deterministically assigns each accepting view a
+// color, thereby extracting a proper k-coloring of any instance that D
+// accepts everywhere (provided the instance's views all appear in the
+// enumerated slice).
+type Extractor struct {
+	ng        *NGraph
+	coloring  []int
+	k         int
+	anonymous bool
+}
+
+// NewExtractor builds D' from the canonical k-coloring of ng. It fails
+// exactly when V(D, n) is not k-colorable — which, by Lemma 3.2, is the
+// hiding case.
+func NewExtractor(ng *NGraph, k int, anonymous bool) (*Extractor, error) {
+	coloring, ok := ng.KColoring(k)
+	if !ok {
+		return nil, fmt.Errorf("neighborhood graph is not %d-colorable: decoder is hiding at this size", k)
+	}
+	return &Extractor{ng: ng, coloring: coloring, k: k, anonymous: anonymous}, nil
+}
+
+// Color returns the extracted color of one view. It fails if the view is
+// not an accepting view of the slice.
+func (e *Extractor) Color(mu *view.View) (int, error) {
+	if e.anonymous {
+		mu = mu.Anonymize()
+	}
+	i := e.ng.IndexOf(mu.Key())
+	if i < 0 {
+		return 0, fmt.Errorf("view not in the accepting neighborhood graph")
+	}
+	return e.coloring[i], nil
+}
+
+// ExtractWitness runs D' at every node of the labeled instance (with
+// verification radius r) and returns the extracted coloring.
+func (e *Extractor) ExtractWitness(l core.Labeled, r int) ([]int, error) {
+	views, err := l.Views(r)
+	if err != nil {
+		return nil, err
+	}
+	witness := make([]int, len(views))
+	for v, mu := range views {
+		c, err := e.Color(mu)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", v, err)
+		}
+		witness[v] = c
+	}
+	return witness, nil
+}
+
+// ConflictReport quantifies how much of a k-coloring is hidden on one
+// accepted instance: the minimum, over ALL view-consistent color
+// assignments (any map from distinct views to [k], the best any r-round
+// extraction decoder could do on this instance), of the number of
+// monochromatic edges and of the number of nodes incident to a
+// monochromatic edge.
+type ConflictReport struct {
+	// DistinctViews is the number of distinct views in the instance.
+	DistinctViews int
+	// MinBadEdges is the minimum achievable number of monochromatic edges.
+	MinBadEdges int
+	// MinFailNodes is the minimum achievable number of nodes incident to a
+	// monochromatic edge.
+	MinFailNodes int
+	// FailFraction is MinFailNodes / n — the paper's proposed quantified
+	// hiding metric (Section 2.4 discussion).
+	FailFraction float64
+}
+
+// MinExtractionConflicts computes the ConflictReport of decoder d on labeled
+// instance l for k colors, by brute force over the k^(#distinct views)
+// view-consistent assignments. It is the mechanical counterpart of "no
+// decoder can extract a coloring here": MinFailNodes > 0 proves every
+// decoder fails somewhere on this instance.
+func MinExtractionConflicts(d core.Decoder, l core.Labeled, k int) (ConflictReport, error) {
+	views, err := l.Views(d.Rounds())
+	if err != nil {
+		return ConflictReport{}, err
+	}
+	index := make(map[string]int)
+	nodeClass := make([]int, len(views))
+	for v, mu := range views {
+		if d.Anonymous() {
+			mu = mu.Anonymize()
+		}
+		key := mu.Key()
+		if _, ok := index[key]; !ok {
+			index[key] = len(index)
+		}
+		nodeClass[v] = index[key]
+	}
+	m := len(index)
+	// The search is k^m; refuse absurd inputs instead of hanging.
+	cost := 1.0
+	for i := 0; i < m; i++ {
+		cost *= float64(k)
+		if cost > 2e7 {
+			return ConflictReport{}, fmt.Errorf("conflict search needs %d^%d assignments; instance has too many distinct views", k, m)
+		}
+	}
+	report := ConflictReport{
+		DistinctViews: m,
+		MinBadEdges:   l.G.M() + 1,
+		MinFailNodes:  l.G.N() + 1,
+	}
+	assign := make([]int, m)
+	edges := l.G.Edges()
+	var rec func(i int)
+	rec = func(i int) {
+		if i < m {
+			for c := 0; c < k; c++ {
+				assign[i] = c
+				rec(i + 1)
+			}
+			return
+		}
+		badEdges := 0
+		failNode := make(map[int]bool)
+		for _, e := range edges {
+			if assign[nodeClass[e[0]]] == assign[nodeClass[e[1]]] {
+				badEdges++
+				failNode[e[0]] = true
+				failNode[e[1]] = true
+			}
+		}
+		if badEdges < report.MinBadEdges {
+			report.MinBadEdges = badEdges
+		}
+		if len(failNode) < report.MinFailNodes {
+			report.MinFailNodes = len(failNode)
+		}
+	}
+	rec(0)
+	if l.G.N() > 0 {
+		report.FailFraction = float64(report.MinFailNodes) / float64(l.G.N())
+	}
+	return report, nil
+}

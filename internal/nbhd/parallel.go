@@ -1,0 +1,141 @@
+package nbhd
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
+)
+
+// BuildParallel is Build with a worker pool: instances stream from the
+// enumerator into workers that extract views and evaluate the decoder;
+// partial results merge at the end. The output is identical to Build's
+// (node order is canonical by view key), making this a pure scheduling
+// ablation — benchmarked against the sequential builder at the repository
+// root. workers <= 0 selects GOMAXPROCS.
+func BuildParallel(d core.Decoder, enum Enumerator, workers int) (*NGraph, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type partial struct {
+		seen      map[string]*view.View
+		accepting map[string]bool
+		edges     map[[2]string]bool
+		loops     map[string]bool
+	}
+	instances := make(chan core.Labeled, workers)
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		parts[w] = partial{
+			seen:      map[string]*view.View{},
+			accepting: map[string]bool{},
+			edges:     map[[2]string]bool{},
+			loops:     map[string]bool{},
+		}
+		wg.Add(1)
+		go func(p *partial) {
+			defer wg.Done()
+			for l := range instances {
+				views, err := l.Views(d.Rounds())
+				if err != nil {
+					panic(fmt.Sprintf("nbhd.BuildParallel: invalid instance from enumerator: %v", err))
+				}
+				keys := make([]string, len(views))
+				for v, mu := range views {
+					if d.Anonymous() {
+						mu = mu.Anonymize()
+					}
+					k := mu.Key()
+					keys[v] = k
+					if _, ok := p.seen[k]; !ok {
+						p.seen[k] = mu
+					}
+					if !p.accepting[k] && d.Decide(mu) {
+						p.accepting[k] = true
+					}
+				}
+				for _, e := range l.G.Edges() {
+					ka, kb := keys[e[0]], keys[e[1]]
+					if ka == kb {
+						p.loops[ka] = true
+						continue
+					}
+					if ka > kb {
+						ka, kb = kb, ka
+					}
+					p.edges[[2]string{ka, kb}] = true
+				}
+			}
+		}(&parts[w])
+	}
+
+	err := enum(func(l core.Labeled) bool {
+		instances <- l
+		return true
+	})
+	close(instances)
+	wg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("enumerating instances: %w", err)
+	}
+
+	// Merge.
+	seen := map[string]*view.View{}
+	accepting := map[string]bool{}
+	edges := map[[2]string]bool{}
+	loops := map[string]bool{}
+	for _, p := range parts {
+		for k, mu := range p.seen {
+			if _, ok := seen[k]; !ok {
+				seen[k] = mu
+			}
+		}
+		for k := range p.accepting {
+			accepting[k] = true
+		}
+		for e := range p.edges {
+			edges[e] = true
+		}
+		for k := range p.loops {
+			loops[k] = true
+		}
+	}
+
+	var keys []string
+	for k := range accepting {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ng := &NGraph{
+		index: make(map[string]int, len(keys)),
+		loops: make(map[int]bool),
+	}
+	for i, k := range keys {
+		ng.index[k] = i
+		ng.views = append(ng.views, seen[k])
+	}
+	ng.g = graph.New(len(keys))
+	for e := range edges {
+		ia, oka := ng.index[e[0]]
+		ib, okb := ng.index[e[1]]
+		if !oka || !okb {
+			continue
+		}
+		if !ng.g.HasEdge(ia, ib) {
+			if err := ng.g.AddEdge(ia, ib); err != nil {
+				return nil, fmt.Errorf("adding compatibility edge: %w", err)
+			}
+		}
+	}
+	for k := range loops {
+		if i, ok := ng.index[k]; ok {
+			ng.loops[i] = true
+		}
+	}
+	return ng, nil
+}

@@ -1,0 +1,302 @@
+// Package sim runs the distributed verifier as an actual synchronous
+// message-passing computation (the LOCAL model of Section 2.2): one
+// goroutine per node, one channel per directed edge, r rounds of flooding
+// in lockstep. After r rounds every node has gathered exactly its radius-r
+// view — including the frontier-edge truncation: an edge between two
+// distance-r nodes needs min distance r to either endpoint and therefore
+// never arrives within r rounds.
+//
+// The package exists to demonstrate that the library's decoders are genuine
+// distributed algorithms; Gather is checked against the centralized
+// view.Extract in tests, and GatherSequential provides the single-threaded
+// reference used by the scheduling ablation bench.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/view"
+)
+
+// Stats reports the communication volume of one Gather run.
+type Stats struct {
+	Rounds int
+	// Messages is the total number of point-to-point messages (one per
+	// directed edge per round).
+	Messages int
+	// Records is the total number of node records carried by all messages
+	// (a proxy for bandwidth).
+	Records int
+}
+
+type nodeRec struct {
+	id    int
+	label string
+	deg   int
+}
+
+type edgeRec struct {
+	a, b         int // host indices, a < b
+	portA, portB int
+}
+
+// knowledge is a node's accumulated information.
+type knowledge struct {
+	nodes map[int]nodeRec
+	edges map[[2]int]edgeRec
+}
+
+func (k *knowledge) clone() knowledge {
+	c := knowledge{
+		nodes: make(map[int]nodeRec, len(k.nodes)),
+		edges: make(map[[2]int]edgeRec, len(k.edges)),
+	}
+	for i, r := range k.nodes {
+		c.nodes[i] = r
+	}
+	for e, r := range k.edges {
+		c.edges[e] = r
+	}
+	return c
+}
+
+func (k *knowledge) merge(other knowledge) {
+	for i, r := range other.nodes {
+		k.nodes[i] = r
+	}
+	for e, r := range other.edges {
+		k.edges[e] = r
+	}
+}
+
+// Gather runs r rounds of synchronous flooding with one goroutine per node
+// and returns every node's assembled radius-r view. The host indices inside
+// messages are transport bookkeeping only (they never reach the decoders,
+// which see view-local numbering exactly as with view.Extract).
+func Gather(l core.Labeled, r int) ([]*view.View, Stats, error) {
+	n := l.G.N()
+	if r < 0 {
+		return nil, Stats{}, fmt.Errorf("negative radius %d", r)
+	}
+	// One buffered channel per directed edge.
+	chans := make(map[[2]int]chan knowledge, 2*l.G.M())
+	for _, e := range l.G.Edges() {
+		chans[[2]int{e[0], e[1]}] = make(chan knowledge, 1)
+		chans[[2]int{e[1], e[0]}] = make(chan knowledge, 1)
+	}
+
+	know := make([]knowledge, n)
+	for v := 0; v < n; v++ {
+		know[v] = knowledge{nodes: map[int]nodeRec{}, edges: map[[2]int]edgeRec{}}
+		id := 0
+		if l.IDs != nil {
+			id = l.IDs[v]
+		}
+		know[v].nodes[v] = nodeRec{id: id, label: l.Labels[v], deg: l.G.Degree(v)}
+		for _, w := range l.G.Neighbors(v) {
+			a, b := v, w
+			pa, pb := l.Prt.MustPort(v, w), l.Prt.MustPort(w, v)
+			if a > b {
+				a, b = b, a
+				pa, pb = pb, pa
+			}
+			know[v].edges[[2]int{a, b}] = edgeRec{a: a, b: b, portA: pa, portB: pb}
+		}
+	}
+
+	var wg sync.WaitGroup
+	var statMu sync.Mutex
+	stats := Stats{Rounds: r}
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			sent, records := 0, 0
+			for round := 0; round < r; round++ {
+				snapshot := know[v].clone()
+				for _, w := range l.G.Neighbors(v) {
+					chans[[2]int{v, w}] <- snapshot
+					sent++
+					records += len(snapshot.nodes)
+				}
+				for _, w := range l.G.Neighbors(v) {
+					incoming := <-chans[[2]int{w, v}]
+					know[v].merge(incoming)
+				}
+			}
+			statMu.Lock()
+			stats.Messages += sent
+			stats.Records += records
+			statMu.Unlock()
+		}(v)
+	}
+	wg.Wait()
+
+	views := make([]*view.View, n)
+	for v := 0; v < n; v++ {
+		mu, err := assemble(know[v], v, r, l.NBound)
+		if err != nil {
+			return nil, stats, fmt.Errorf("assembling view of node %d: %w", v, err)
+		}
+		views[v] = mu
+	}
+	return views, stats, nil
+}
+
+// GatherSequential computes the same result with a plain round loop and no
+// goroutines — the scheduling ablation baseline.
+func GatherSequential(l core.Labeled, r int) ([]*view.View, Stats, error) {
+	n := l.G.N()
+	if r < 0 {
+		return nil, Stats{}, fmt.Errorf("negative radius %d", r)
+	}
+	know := make([]knowledge, n)
+	for v := 0; v < n; v++ {
+		know[v] = knowledge{nodes: map[int]nodeRec{}, edges: map[[2]int]edgeRec{}}
+		id := 0
+		if l.IDs != nil {
+			id = l.IDs[v]
+		}
+		know[v].nodes[v] = nodeRec{id: id, label: l.Labels[v], deg: l.G.Degree(v)}
+		for _, w := range l.G.Neighbors(v) {
+			a, b := v, w
+			pa, pb := l.Prt.MustPort(v, w), l.Prt.MustPort(w, v)
+			if a > b {
+				a, b = b, a
+				pa, pb = pb, pa
+			}
+			know[v].edges[[2]int{a, b}] = edgeRec{a: a, b: b, portA: pa, portB: pb}
+		}
+	}
+	stats := Stats{Rounds: r}
+	for round := 0; round < r; round++ {
+		snapshots := make([]knowledge, n)
+		for v := 0; v < n; v++ {
+			snapshots[v] = know[v].clone()
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range l.G.Neighbors(v) {
+				know[v].merge(snapshots[w])
+				stats.Messages++
+				stats.Records += len(snapshots[w].nodes)
+			}
+		}
+	}
+	views := make([]*view.View, n)
+	for v := 0; v < n; v++ {
+		mu, err := assemble(know[v], v, r, l.NBound)
+		if err != nil {
+			return nil, stats, err
+		}
+		views[v] = mu
+	}
+	return views, stats, nil
+}
+
+// assemble turns gathered knowledge into a view.View with the same local
+// numbering convention as view.Extract: nodes sorted by (distance from
+// center, host index), frontier-frontier edges dropped.
+func assemble(k knowledge, center, r, nBound int) (*view.View, error) {
+	// BFS over known edges to compute distances from the center.
+	adj := make(map[int][]int, len(k.nodes))
+	for e := range k.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	dist := map[int]int{center: 0}
+	queue := []int{center}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range adj[x] {
+			if _, ok := dist[y]; !ok {
+				dist[y] = dist[x] + 1
+				queue = append(queue, y)
+			}
+		}
+	}
+	var hosts []int
+	for h := range k.nodes {
+		d, ok := dist[h]
+		if !ok || d > r {
+			// Knowledge can momentarily exceed the ball on multigraph-like
+			// shortcuts; it cannot under flooding, so treat it as a bug.
+			return nil, fmt.Errorf("gathered record of node %d outside radius %d", h, r)
+		}
+	}
+	for h := range k.nodes {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(a, b int) bool {
+		if dist[hosts[a]] != dist[hosts[b]] {
+			return dist[hosts[a]] < dist[hosts[b]]
+		}
+		return hosts[a] < hosts[b]
+	})
+	local := make(map[int]int, len(hosts))
+	for i, h := range hosts {
+		local[h] = i
+	}
+	mu := &view.View{
+		Radius: r,
+		Adj:    make([][]int, len(hosts)),
+		Dist:   make([]int, len(hosts)),
+		Ports:  make(map[[2]int]int),
+		IDs:    make([]int, len(hosts)),
+		Labels: make([]string, len(hosts)),
+		NBound: nBound,
+	}
+	for i, h := range hosts {
+		rec := k.nodes[h]
+		mu.Dist[i] = dist[h]
+		mu.IDs[i] = rec.id
+		mu.Labels[i] = rec.label
+	}
+	for e, rec := range k.edges {
+		i, okA := local[e[0]]
+		j, okB := local[e[1]]
+		if !okA || !okB {
+			continue
+		}
+		if mu.Dist[i] == r && mu.Dist[j] == r {
+			continue // frontier truncation
+		}
+		mu.Adj[i] = append(mu.Adj[i], j)
+		mu.Adj[j] = append(mu.Adj[j], i)
+		mu.Ports[[2]int{i, j}] = rec.portA
+		mu.Ports[[2]int{j, i}] = rec.portB
+	}
+	for i := range mu.Adj {
+		sort.Ints(mu.Adj[i])
+	}
+	return mu, nil
+}
+
+// RunScheme certifies the instance with the scheme's prover, gathers views
+// by message passing, and evaluates the decoder at every node. It is the
+// end-to-end "distributed certification" entry point.
+func RunScheme(s core.Scheme, inst core.Instance) (accept []bool, stats Stats, err error) {
+	labels, err := s.Prover.Certify(inst)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("prover: %w", err)
+	}
+	l, err := core.NewLabeled(inst, labels)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	views, stats, err := Gather(l, s.Decoder.Rounds())
+	if err != nil {
+		return nil, stats, err
+	}
+	accept = make([]bool, len(views))
+	for v, mu := range views {
+		if s.Decoder.Anonymous() {
+			mu = mu.Anonymize()
+		}
+		accept[v] = s.Decoder.Decide(mu)
+	}
+	return accept, stats, nil
+}

@@ -1,0 +1,200 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Key returns a canonical string key: two views have the same key iff they
+// are equal as views (same radius, same N bound, and isomorphic via a
+// center-fixing, distance-preserving bijection that matches identifiers,
+// labels, and ports).
+//
+// When identifiers are present and distinct they already determine the
+// canonical node order; otherwise the key is the lexicographic minimum over
+// all distance-class-respecting orderings (views are small, so the search is
+// cheap).
+func (v *View) Key() string {
+	if order, ok := v.idOrder(); ok {
+		return v.serialize(order)
+	}
+	return v.minKey()
+}
+
+// Equal reports whether two views are equal in the sense of Key.
+func (v *View) Equal(w *View) bool {
+	if v.N() != w.N() || v.Radius != w.Radius || v.NBound != w.NBound {
+		return false
+	}
+	return v.Key() == w.Key()
+}
+
+// idOrder returns nodes sorted by (distance, identifier) if all identifiers
+// are nonzero and distinct.
+func (v *View) idOrder() ([]int, bool) {
+	seen := make(map[int]bool, len(v.IDs))
+	for _, id := range v.IDs {
+		if id == 0 || seen[id] {
+			return nil, false
+		}
+		seen[id] = true
+	}
+	order := make([]int, v.N())
+	for i := range order {
+		order[i] = i
+	}
+	dist, ids := v.Dist, v.IDs
+	// Insertion sort by (dist, id); views are small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if dist[a] < dist[b] || (dist[a] == dist[b] && ids[a] < ids[b]) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	return order, true
+}
+
+// minKey computes the lexicographically smallest serialization over all
+// orderings that respect the canonical class sequence (center first, then
+// refined invariant classes in increasing order). Only nodes sharing an
+// isomorphism-invariant signature may swap, which keeps the search tiny on
+// realistic views while remaining canonical.
+func (v *View) minKey() string {
+	classes := v.refinedClasses()
+	best := ""
+	order := make([]int, 0, v.N())
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(classes) {
+			s := v.serialize(order)
+			if best == "" || s < best {
+				best = s
+			}
+			return
+		}
+		permute(classes[ci], func(perm []int) {
+			order = append(order, perm...)
+			rec(ci + 1)
+			order = order[:len(order)-len(perm)]
+		})
+	}
+	rec(0)
+	return best
+}
+
+// refinedClasses partitions local nodes into ordered classes by an
+// iteratively refined isomorphism-invariant signature (distance, label,
+// degree, sorted incident-edge descriptors over neighbor signatures — a
+// Weisfeiler-Leman-style coloring). Permuting only within classes preserves
+// canonicity because equal-signature nodes are interchangeable in any
+// serialization-minimal ordering.
+func (v *View) refinedClasses() [][]int {
+	n := v.N()
+	sig := make([]string, n)
+	for i := 0; i < n; i++ {
+		sig[i] = fmt.Sprintf("d%03d;l%q;k%03d;i%06d", v.Dist[i], v.Labels[i], v.Degree(i), v.IDs[i])
+	}
+	allDistinct := func() bool {
+		seen := make(map[string]bool, n)
+		for _, s := range sig {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	for round := 0; round < n && !allDistinct(); round++ {
+		next := make([]string, n)
+		changed := false
+		for i := 0; i < n; i++ {
+			arms := make([]string, 0, v.Degree(i))
+			for _, w := range v.Adj[i] {
+				arms = append(arms, fmt.Sprintf("%d>%d:%s", v.Ports[[2]int{i, w}], v.Ports[[2]int{w, i}], sig[w]))
+			}
+			sort.Strings(arms)
+			next[i] = sig[i] + "|" + strings.Join(arms, ",")
+		}
+		// Compress to keep signatures short.
+		index := map[string]int{}
+		var keys []string
+		for _, s := range next {
+			if _, ok := index[s]; !ok {
+				index[s] = 0
+				keys = append(keys, s)
+			}
+		}
+		sort.Strings(keys)
+		for rank, s := range keys {
+			index[s] = rank
+		}
+		for i := 0; i < n; i++ {
+			compressed := fmt.Sprintf("d%03d;l%q;k%03d;i%06d;c%06d", v.Dist[i], v.Labels[i], v.Degree(i), v.IDs[i], index[next[i]])
+			if compressed != sig[i] {
+				changed = true
+			}
+			sig[i] = compressed
+		}
+		if !changed {
+			break
+		}
+	}
+	// Group by signature; the center is always its own first class.
+	bySig := map[string][]int{}
+	for i := 1; i < n; i++ {
+		bySig[sig[i]] = append(bySig[sig[i]], i)
+	}
+	var sigs []string
+	for s := range bySig {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	classes := [][]int{{Center}}
+	for _, s := range sigs {
+		classes = append(classes, bySig[s])
+	}
+	return classes
+}
+
+func permute(items []int, fn func([]int)) {
+	perm := append([]int(nil), items...)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(perm) {
+			fn(perm)
+			return
+		}
+		for j := i; j < len(perm); j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+}
+
+// serialize renders the view under the given node ordering. order[k] is the
+// local node placed at position k.
+func (v *View) serialize(order []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%d#n%d#N%d", v.Radius, v.N(), v.NBound)
+	for _, i := range order {
+		fmt.Fprintf(&b, "|d%d;i%d;l%q", v.Dist[i], v.IDs[i], v.Labels[i])
+	}
+	for ka := 0; ka < v.N(); ka++ {
+		for kb := ka + 1; kb < v.N(); kb++ {
+			a, b2 := order[ka], order[kb]
+			pab, ok := v.Ports[[2]int{a, b2}]
+			if !ok {
+				continue
+			}
+			pba := v.Ports[[2]int{b2, a}]
+			fmt.Fprintf(&b, "|e%d,%d:%d,%d", ka, kb, pab, pba)
+		}
+	}
+	return b.String()
+}
