@@ -8,6 +8,7 @@
 //	lcpcheck -scheme degree-one -graph path:6 -verbose
 //	lcpcheck -scheme shatter -graph grid:4x5 -conflicts
 //	lcpcheck -scheme even-cycle -graph cycle:12 -distributed
+//	lcpcheck -scheme union -graph cycle:8 -sanitize
 //
 // Graph specs: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,
 // binarytree:LEVELS, spider:a,b,c, watermelon:l1,l2,..., petersen.
@@ -21,6 +22,7 @@ import (
 	"hidinglcp/internal/cli"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/sanitize"
 	"hidinglcp/internal/sim"
 )
 
@@ -30,6 +32,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print per-node certificates and verdicts")
 	conflicts := flag.Bool("conflicts", false, "compute the hidden-fraction conflict report")
 	distributed := flag.Bool("distributed", false, "verify via the message-passing simulator")
+	sanitized := flag.Bool("sanitize", false, "re-run every decoder decision under the determinism sanitizer")
 	flag.Parse()
 
 	if *schemeName == "help" {
@@ -38,16 +41,20 @@ func main() {
 		}
 		return
 	}
-	if err := run(*schemeName, *graphSpec, *verbose, *conflicts, *distributed); err != nil {
+	if err := run(*schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized); err != nil {
 		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName, graphSpec string, verbose, conflicts, distributed bool) error {
+func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitized bool) error {
 	s, err := cli.SchemeByName(schemeName)
 	if err != nil {
 		return err
+	}
+	var sanResult *sanitize.Result
+	if sanitized {
+		s, sanResult = sanitize.WithScheme(s, sanitize.Config{})
 	}
 	g, err := cli.ParseGraph(graphSpec)
 	if err != nil {
@@ -105,6 +112,12 @@ func run(schemeName, graphSpec string, verbose, conflicts, distributed bool) err
 		}
 		fmt.Printf("extraction conflicts: %d distinct views, min bad edges %d, fail fraction %.2f\n",
 			report.DistinctViews, report.MinBadEdges, report.FailFraction)
+	}
+	if sanResult != nil {
+		if err := sanResult.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("sanitizer: %d decisions probed, determinism contract holds\n", sanResult.Decisions())
 	}
 	if accepts != g.N() {
 		return fmt.Errorf("completeness violated: %d nodes reject", g.N()-accepts)

@@ -23,7 +23,7 @@ func TestRunSchemes(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.scheme, tt.graph, true, true, tt.distributed)
+			err := run(tt.scheme, tt.graph, true, true, tt.distributed, true)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}

@@ -1,0 +1,79 @@
+// Command lcplint is the repository's determinism-contract multichecker:
+// it runs the four custom analyzers of internal/analysis (decoderpurity,
+// maporder, nondet, anonid) over the given package patterns and, unless
+// -vet=false, the standard `go vet` passes alongside them. It exits
+// non-zero when any diagnostic is reported, so CI can gate on a clean run.
+//
+// Usage:
+//
+//	lcplint [-vet=false] [-list] [packages]
+//
+// With no package arguments it lints ./... . The analyzers are built on
+// the standard library's go/types source importer, so lcplint needs no
+// modules beyond the repository itself; run it from within the module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"hidinglcp/internal/analysis"
+)
+
+func main() {
+	vet := flag.Bool("vet", true, "also run the standard `go vet` passes over the same patterns")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	code := 0
+	diags, err := lint(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcplint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		code = 1
+	}
+
+	if *vet {
+		if err := runVet(patterns); err != nil {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// lint loads the patterns and applies the full analyzer suite.
+func lint(patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAnalyzers(pkgs, analysis.All())
+}
+
+// runVet shells out to the standard vet passes, forwarding their output.
+func runVet(patterns []string) error {
+	args := append([]string{"vet"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
+}

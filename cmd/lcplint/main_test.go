@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hidinglcp/internal/analysis"
+)
+
+// TestRepositoryIsLintClean pins the acceptance criterion that the whole
+// module satisfies the determinism contract: every analyzer, zero
+// diagnostics. A regression here means a decoder grew state, a map
+// iteration leaked ordering, or ambient nondeterminism crept into a
+// library package.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	diags, err := lintFrom(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// lintFrom mirrors main's lint but anchored at dir, so the test works from
+// the package's own working directory.
+func lintFrom(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAnalyzers(pkgs, analysis.All())
+}
+
+// moduleRoot locates the module directory containing this test.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}

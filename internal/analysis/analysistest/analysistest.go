@@ -1,0 +1,233 @@
+// Package analysistest is the test driver for the lcplint analyzers,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library alone: it loads a fixture package from a testdata tree, runs one
+// analyzer, and checks the reported diagnostics against `// want "regexp"`
+// comments in the fixture source. Every diagnostic must be wanted and
+// every want must fire, so each fixture proves both the positive and the
+// negative behavior of its analyzer.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hidinglcp/internal/analysis"
+)
+
+// Run loads the package rooted at testdataDir/src/<pkgpath>, applies the
+// analyzer, and matches diagnostics against the fixture's want comments.
+//
+// Imports inside the fixture resolve against sibling directories under
+// testdataDir/src first (so fixtures can carry replica `view` and `core`
+// packages), then fall back to the standard library.
+func Run(t *testing.T, testdataDir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loadPackage(testdataDir, pkgpath)
+	if err != nil {
+		t.Fatalf("loading testdata package %s: %v", pkgpath, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+	match(t, a.Name, diags, wants)
+}
+
+// want is one expected diagnostic, parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantComment = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants extracts expectations from the package's comments. Multiple
+// quoted regexps may follow one want marker.
+func collectWants(pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantComment.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, quoted := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted splits a run of space-separated double-quoted strings,
+// keeping the quotes.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(s, '"')
+		if start < 0 {
+			return out
+		}
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}
+
+// match pairs diagnostics with wants by (file, line) and regexp.
+func match(t *testing.T, name string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic %s", name, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, w.file, w.line, w.re)
+		}
+	}
+}
+
+// testImporter resolves imports for fixture packages: directories under
+// the testdata src root shadow the real import space, everything else is
+// delegated to the source importer.
+type testImporter struct {
+	fset *token.FileSet
+	src  string
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func newTestImporter(fset *token.FileSet, srcRoot string) *testImporter {
+	return &testImporter{
+		fset: fset,
+		src:  srcRoot,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ti.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.src, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		pkg, err := ti.checkDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		ti.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return ti.std.Import(path)
+}
+
+// checkDir parses and type-checks every non-test .go file in dir as the
+// package imported as path.
+func (ti *testImporter) checkDir(path, dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ti.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: ti}
+	tpkg, err := conf.Check(path, ti.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       ti.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// loadPackage loads testdataDir/src/<pkgpath> for analysis.
+func loadPackage(testdataDir, pkgpath string) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	ti := newTestImporter(fset, filepath.Join(testdataDir, "src"))
+	dir := filepath.Join(testdataDir, "src", filepath.FromSlash(pkgpath))
+	return ti.checkDir(pkgpath, dir)
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hidinglcp/internal/analysis"
+	"hidinglcp/internal/analysis/analysistest"
+)
+
+// Each analyzer's fixture seeds at least one violation per rule (the
+// `// want` lines) and several clean constructions that must stay quiet.
+
+func TestDecoderPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", "decoderpurity", analysis.DecoderPurityAnalyzer)
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", "maporder", analysis.MapOrderAnalyzer)
+}
+
+func TestNondet(t *testing.T) {
+	analysistest.Run(t, "testdata", "nondet", analysis.NondetAnalyzer)
+}
+
+func TestAnonID(t *testing.T) {
+	analysistest.Run(t, "testdata", "anonid", analysis.AnonIDAnalyzer)
+}
+
+func TestAllListsEveryAnalyzer(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"decoderpurity", "maporder", "nondet", "anonid"} {
+		if !names[want] {
+			t.Errorf("All() is missing analyzer %q", want)
+		}
+	}
+}

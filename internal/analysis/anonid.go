@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnonIDAnalyzer enforces the anonymity half of the decoder contract: a
+// decoder that declares itself identifier-oblivious — its Anonymous()
+// method is the constant `return true` — must not read view identifiers in
+// its Decide method. Identifier reads it reports:
+//
+//   - selecting the IDs field of a view value, and
+//   - calling the view's LocalNodeWithID method.
+//
+// The anonymity and hiding theorems quantify over identifier assignments;
+// an "anonymous" decoder that peeks at IDs silently narrows those
+// quantifiers to the assignments exercised in tests. The same rule covers
+// core.NewDecoder(r, true, fn): a function literal passed with the
+// anonymous flag literally true is checked like an anonymous Decide.
+var AnonIDAnalyzer = &Analyzer{
+	Name: "anonid",
+	Doc:  "report anonymous decoders (Anonymous() == true) whose Decide reads view identifiers",
+	Run:  runAnonID,
+}
+
+func runAnonID(pass *Pass) error {
+	anonTypes := constTrueAnonymousTypes(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if isDecideMethod(pass.Info, fn) && fn.Body != nil {
+					if t := receiverNamedType(pass.Info, fn); t != nil && anonTypes[t] {
+						reportIDReads(pass, fn.Body)
+					}
+				}
+			case *ast.CallExpr:
+				if lit, ok := anonymousNewDecoderLiteral(pass, fn); ok {
+					reportIDReads(pass, lit.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// constTrueAnonymousTypes collects the named types whose Anonymous() bool
+// method body is exactly `return true`.
+func constTrueAnonymousTypes(pass *Pass) map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != "Anonymous" || fn.Body == nil {
+				continue
+			}
+			if len(fn.Body.List) != 1 {
+				continue
+			}
+			ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				continue
+			}
+			ident, ok := ret.Results[0].(*ast.Ident)
+			if !ok || ident.Name != "true" {
+				continue
+			}
+			if t := receiverNamedType(pass.Info, fn); t != nil {
+				out[t] = true
+			}
+		}
+	}
+	return out
+}
+
+// receiverNamedType resolves a method's receiver to its named type's
+// TypeName, unwrapping one pointer.
+func receiverNamedType(info *types.Info, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// anonymousNewDecoderLiteral matches core.NewDecoder(r, true, func(...){}),
+// returning the function literal when the anonymous flag is literally true.
+func anonymousNewDecoderLiteral(pass *Pass, call *ast.CallExpr) (*ast.FuncLit, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewDecoder" || len(call.Args) != 3 {
+		return nil, false
+	}
+	fnObj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fnObj.Pkg() == nil || fnObj.Pkg().Name() != "core" {
+		return nil, false
+	}
+	flag, ok := call.Args[1].(*ast.Ident)
+	if !ok || flag.Name != "true" {
+		return nil, false
+	}
+	lit, ok := call.Args[2].(*ast.FuncLit)
+	if !ok {
+		return nil, false
+	}
+	return lit, true
+}
+
+// reportIDReads flags identifier reads inside one anonymous Decide body.
+func reportIDReads(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(sel.X)
+		if t == nil {
+			return true
+		}
+		if !isViewPtr(t) && !isViewValue(t) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "IDs":
+			pass.Reportf(sel.Pos(), "anonymous decoder reads view identifiers (%s.IDs); Anonymous() promises identifier-obliviousness", exprString(sel.X))
+		case "LocalNodeWithID":
+			pass.Reportf(sel.Pos(), "anonymous decoder resolves identifiers (%s.LocalNodeWithID); Anonymous() promises identifier-obliviousness", exprString(sel.X))
+		}
+		return true
+	})
+}
+
+// isViewValue reports whether t is the named view.View value type.
+func isViewValue(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "View" && obj.Pkg() != nil && obj.Pkg().Name() == "view"
+}

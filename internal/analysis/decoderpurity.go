@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DecoderPurityAnalyzer enforces the core.Decoder contract that Decide is a
+// pure function of its view: inside any method or function literal with the
+// Decide signature (one *view.View parameter, bool result), it reports
+//
+//   - writes to receiver fields (statefulness across invocations),
+//   - writes to package-level variables (hidden shared state), and
+//   - mutation of the *view.View argument (views are immutable after
+//     extraction and shared between nodes, caches, and workers).
+//
+// Reads are unrestricted. The check is syntactic over assignment statements,
+// ++/--, and the delete builtin; mutation smuggled through helper calls is
+// out of scope (the runtime sanitizer in internal/sanitize covers it).
+var DecoderPurityAnalyzer = &Analyzer{
+	Name: "decoderpurity",
+	Doc:  "report Decide methods that write receiver fields, package-level variables, or their view argument",
+	Run:  runDecoderPurity,
+}
+
+func runDecoderPurity(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if isDecideMethod(pass.Info, fn) && fn.Body != nil {
+					checkDecideBody(pass, fn.Body, receiverObj(pass.Info, fn), paramObj(pass.Info, fn.Type))
+				}
+			case *ast.FuncLit:
+				if hasDecideSignature(pass.Info, fn.Type) {
+					checkDecideBody(pass, fn.Body, nil, paramObj(pass.Info, fn.Type))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverObj returns the object of the method's receiver variable, or nil
+// for an unnamed receiver.
+func receiverObj(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// paramObj returns the object of the single view parameter, or nil if it is
+// unnamed.
+func paramObj(info *types.Info, ft *ast.FuncType) types.Object {
+	p := ft.Params.List[0]
+	if len(p.Names) == 0 {
+		return nil
+	}
+	return info.Defs[p.Names[0]]
+}
+
+// checkDecideBody reports impure writes within one Decide body. recv and
+// param may be nil (unnamed); nested function literals are included since
+// they share the enclosing state.
+func checkDecideBody(pass *Pass, body *ast.BlockStmt, recv, param types.Object) {
+	classify := func(target ast.Expr) (string, bool) {
+		root := lhsRoot(target)
+		if root == nil {
+			return "", false
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		if obj == nil {
+			return "", false
+		}
+		switch {
+		case recv != nil && obj == recv:
+			// A plain reassignment of the receiver variable itself is a
+			// local write; only writes *through* it (selector/index/deref)
+			// touch shared state.
+			if _, isIdent := target.(*ast.Ident); isIdent {
+				return "", false
+			}
+			return "receiver field", true
+		case param != nil && obj == param:
+			if _, isIdent := target.(*ast.Ident); isIdent {
+				return "", false
+			}
+			return "view argument", true
+		case isPackageLevelVar(pass.Pkg, obj):
+			return "package-level variable", true
+		}
+		return "", false
+	}
+
+	report := func(pos ast.Node, kind string, target ast.Expr) {
+		pass.Reportf(pos.Pos(), "Decide must be a pure function of the view: write to %s %s", kind, exprString(target))
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				if kind, bad := classify(lhs); bad {
+					report(stmt, kind, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if kind, bad := classify(stmt.X); bad {
+				report(stmt, kind, stmt.X)
+			}
+		case *ast.CallExpr:
+			if fun, ok := stmt.Fun.(*ast.Ident); ok && len(stmt.Args) > 0 {
+				if obj, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					switch obj.Name() {
+					case "delete", "clear":
+						if kind, bad := classify(stmt.Args[0]); bad {
+							report(stmt, kind, stmt.Args[0])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPackageLevelVar reports whether obj is a variable declared at package
+// scope.
+func isPackageLevelVar(pkg *types.Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == pkg.Scope()
+}
+
+// exprString renders a short description of an assignment target.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.SliceExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.TypeAssertExpr:
+		return exprString(x.X) + ".(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderAnalyzer reports the classic map-iteration nondeterminism bug:
+// a `for range` over a map whose body feeds an order-sensitive accumulator
+// — appending to a slice or concatenating onto a string declared outside
+// the loop — with no subsequent sort of that accumulator in the enclosing
+// function. Go randomizes map iteration order, so such code returns a
+// differently-ordered result on every run, which poisons canonical view
+// keys, caches, and golden outputs.
+//
+// Order-insensitive sinks (writes into another map, numeric accumulation,
+// boolean flags) are not flagged. A call after the loop to sort.* or
+// slices.Sort* with the accumulator as an argument suppresses the report,
+// matching the repository idiom "collect keys, then sort".
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "report map iteration whose order flows into a slice or string without an intervening sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fnBody, ok := functionBody(n)
+			if !ok || fnBody == nil {
+				return true
+			}
+			checkFunctionMapLoops(pass, fnBody)
+			return true
+		})
+	}
+	return nil
+}
+
+// functionBody extracts the body of a function declaration or literal.
+func functionBody(n ast.Node) (*ast.BlockStmt, bool) {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body, true
+	case *ast.FuncLit:
+		return fn.Body, true
+	}
+	return nil, false
+}
+
+// checkFunctionMapLoops scans one function body for map-range loops with
+// order-sensitive accumulators that are never sorted afterwards.
+func checkFunctionMapLoops(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, nested := n.(*ast.FuncLit); nested {
+			// Function literals get their own scan; their sorts cannot
+			// vouch for our loops and vice versa.
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.Info.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return true
+		}
+		for _, acc := range orderSensitiveAccumulators(pass, rng) {
+			if !sortedAfter(pass, body, acc, rng.End()) {
+				pass.Reportf(rng.Pos(),
+					"map iteration order flows into %s %q without a subsequent sort; map order is nondeterministic",
+					accKind(acc), acc.Name())
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// accKind names the accumulator's shape for the diagnostic.
+func accKind(v *types.Var) string {
+	if basic, ok := v.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		return "string"
+	}
+	return "slice"
+}
+
+// orderSensitiveAccumulators returns the outside-declared slice and string
+// variables that the loop body extends in iteration order.
+func orderSensitiveAccumulators(pass *Pass, rng *ast.RangeStmt) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	record := func(v *types.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			v := outerVar(pass, lhs, rng)
+			if v == nil {
+				continue
+			}
+			switch {
+			case isAppendTo(pass, assign, i, v):
+				record(v)
+			case isStringConcat(pass, assign, i, v):
+				record(v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// outerVar resolves lhs to a variable declared before (outside) the range
+// statement, or nil.
+func outerVar(pass *Pass, lhs ast.Expr, rng *ast.RangeStmt) *types.Var {
+	ident, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[ident]
+	if obj == nil {
+		obj = pass.Info.Defs[ident]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pos() >= rng.Pos() {
+		return nil
+	}
+	return v
+}
+
+// isAppendTo reports whether assign's i-th position is `v = append(v, ...)`
+// with v of slice type.
+func isAppendTo(pass *Pass, assign *ast.AssignStmt, i int, v *types.Var) bool {
+	if assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE {
+		return false
+	}
+	if i >= len(assign.Rhs) && len(assign.Rhs) != 1 {
+		return false
+	}
+	rhsIdx := i
+	if len(assign.Rhs) == 1 {
+		rhsIdx = 0
+	}
+	call, ok := assign.Rhs[rhsIdx].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	builtin, ok := pass.Info.Uses[fun].(*types.Builtin)
+	if !ok || builtin.Name() != "append" || len(call.Args) == 0 {
+		return false
+	}
+	base, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.Info.Uses[base] == types.Object(v)
+}
+
+// isStringConcat reports whether assign's i-th position grows string v:
+// `v += x` or `v = v + x`.
+func isStringConcat(pass *Pass, assign *ast.AssignStmt, i int, v *types.Var) bool {
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return false
+	}
+	if assign.Tok == token.ADD_ASSIGN {
+		return true
+	}
+	if assign.Tok != token.ASSIGN || i >= len(assign.Rhs) {
+		return false
+	}
+	bin, ok := assign.Rhs[i].(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	root := lhsRoot(bin.X)
+	return root != nil && pass.Info.Uses[root] == types.Object(v)
+}
+
+// sortedAfter reports whether, anywhere in the enclosing function after the
+// loop, the accumulator is passed to a sorting function (sort.* or
+// slices.Sort*).
+func sortedAfter(pass *Pass, body *ast.BlockStmt, v *types.Var, after token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := lhsRoot(arg)
+			if root != nil && pass.Info.Uses[root] == types.Object(v) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether call invokes a function from package sort or a
+// Sort* function from package slices.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pkgName.Imported().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return len(sel.Sel.Name) >= 4 && sel.Sel.Name[:4] == "Sort"
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NondetAnalyzer reports calls that smuggle ambient nondeterminism into
+// library packages: wall-clock reads (time.Now, time.Since), the global
+// math/rand and math/rand/v2 top-level functions (which draw from a shared,
+// unseedable-per-call-site source), and environment reads (os.Getenv and
+// friends). Reproducible decoders, provers, and instance generators must
+// thread explicit state — a *rand.Rand, an injected clock, a config struct
+// — instead.
+//
+// Test files and package main are exempt: the contract governs library
+// code, while binaries and tests may interact with the environment.
+// Constructing explicit sources (rand.New, rand.NewSource, rand.NewPCG,
+// rand.NewChaCha8, rand.NewZipf) is allowed.
+var NondetAnalyzer = &Analyzer{
+	Name: "nondet",
+	Doc:  "report time.Now, global math/rand, and os.Getenv calls in non-test library packages",
+	Run:  runNondet,
+}
+
+// nondetAllowed lists the permitted functions per flagged package: explicit
+// source constructors, which are the reproducible alternative the analyzer
+// pushes callers toward.
+var nondetAllowed = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true, "NewZipf": true},
+	"math/rand/v2": {"New": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true},
+	"time":         {},
+	"os":           {},
+}
+
+// nondetBanned lists, for packages where most functions are legitimate, the
+// specific ambient-state readers to flag. Packages absent here (math/rand,
+// math/rand/v2) flag every top-level function not in nondetAllowed.
+var nondetBanned = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+	"os":   {"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true},
+}
+
+func runNondet(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, funcName, ok := packageFuncCall(pass, call)
+			if !ok {
+				return true
+			}
+			allowed, tracked := nondetAllowed[pkgPath]
+			if !tracked || allowed[funcName] {
+				return true
+			}
+			if banned, ok := nondetBanned[pkgPath]; ok && !banned[funcName] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to %s.%s reads ambient state; thread explicit state (e.g. a seeded *rand.Rand) through the API instead",
+				pkgPath, funcName)
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncCall matches a call of the form pkg.Func where pkg is an
+// imported package name, returning the package path and function name.
+// Method calls (receiver expressions) do not match.
+func packageFuncCall(pass *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	pkgIdent, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	if _, isFunc := pass.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+		// Type conversions (time.Duration(x)) and called variables are not
+		// the ambient-state readers this analyzer is after.
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}

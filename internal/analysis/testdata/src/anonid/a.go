@@ -1,0 +1,59 @@
+// Fixture for the anonid analyzer: decoders declaring Anonymous() == true
+// while reading identifiers are seeded violations; identifier reads in
+// declared non-anonymous decoders stay clean.
+package anonid
+
+import (
+	"core"
+	"view"
+)
+
+// leaky claims anonymity but branches on an identifier.
+type leaky struct{}
+
+func (d *leaky) Rounds() int     { return 1 }
+func (d *leaky) Anonymous() bool { return true }
+
+func (d *leaky) Decide(mu *view.View) bool {
+	return mu.IDs[0] == 0 // want "anonymous decoder reads view identifiers"
+}
+
+// lookup claims anonymity but resolves identifiers to local nodes.
+type lookup struct{}
+
+func (d *lookup) Rounds() int     { return 1 }
+func (d *lookup) Anonymous() bool { return true }
+
+func (d *lookup) Decide(mu *view.View) bool {
+	return mu.LocalNodeWithID(3) >= 0 // want "anonymous decoder resolves identifiers"
+}
+
+// honest reads identifiers and says so.
+type honest struct{}
+
+func (d *honest) Rounds() int     { return 1 }
+func (d *honest) Anonymous() bool { return false }
+
+func (d *honest) Decide(mu *view.View) bool {
+	return mu.IDs[0] > 0
+}
+
+// cleanAnon is anonymous and identifier-oblivious.
+type cleanAnon struct{}
+
+func (d *cleanAnon) Rounds() int     { return 1 }
+func (d *cleanAnon) Anonymous() bool { return true }
+
+func (d *cleanAnon) Decide(mu *view.View) bool {
+	return len(mu.Adj) > 0 && mu.Labels[0] != ""
+}
+
+// Function literals passed to core.NewDecoder with the anonymous flag
+// literally true are held to the same contract.
+var _ = core.NewDecoder(1, true, func(mu *view.View) bool {
+	return len(mu.IDs) > 0 // want "anonymous decoder reads view identifiers"
+})
+
+var _ = core.NewDecoder(1, false, func(mu *view.View) bool {
+	return mu.IDs[0] == 1
+})

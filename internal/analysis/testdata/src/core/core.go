@@ -1,0 +1,28 @@
+// Package core is a minimal replica of hidinglcp/internal/core for
+// analyzer fixtures: anonid matches NewDecoder calls by function name and
+// package name "core".
+package core
+
+import "view"
+
+// Decoder mirrors the real r-round binary decoder interface.
+type Decoder interface {
+	Rounds() int
+	Anonymous() bool
+	Decide(mu *view.View) bool
+}
+
+type decoderFunc struct {
+	r      int
+	anon   bool
+	decide func(mu *view.View) bool
+}
+
+// NewDecoder builds a Decoder from a plain function.
+func NewDecoder(rounds int, anonymous bool, decide func(mu *view.View) bool) Decoder {
+	return &decoderFunc{r: rounds, anon: anonymous, decide: decide}
+}
+
+func (d *decoderFunc) Rounds() int               { return d.r }
+func (d *decoderFunc) Anonymous() bool           { return d.anon }
+func (d *decoderFunc) Decide(mu *view.View) bool { return d.decide(mu) }

@@ -1,0 +1,87 @@
+// Fixture for the maporder analyzer: map-range loops feeding slices or
+// strings without a subsequent sort are seeded violations; the
+// collect-then-sort idiom and order-insensitive sinks stay clean.
+package maporder
+
+import (
+	"sort"
+	"strings"
+)
+
+func badKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order flows into slice \"keys\""
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order flows into string \"s\""
+		s += k
+	}
+	return s
+}
+
+func badPlus(m map[string]int) string {
+	out := "prefix:"
+	for k, v := range m { // want "map iteration order flows into string \"out\""
+		if v > 0 {
+			out = out + k
+		}
+	}
+	return out
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodLoopLocal(m map[string]int) int {
+	n := 0
+	for k := range m {
+		parts := []string{}
+		parts = append(parts, k)
+		n += len(strings.Join(parts, ","))
+	}
+	return n
+}
+
+func goodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs { // slices iterate deterministically
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Fixture for the nondet analyzer: ambient-state reads (wall clock,
+// global math/rand, environment) are seeded violations; explicit seeded
+// sources and innocent uses of the same packages stay clean.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().Unix() // want "call to time.Now reads ambient state"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "call to time.Since reads ambient state"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(6) // want "call to math/rand.Intn reads ambient state"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "call to math/rand.Shuffle reads ambient state"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func badEnv() string {
+	return os.Getenv("HOME") // want "call to os.Getenv reads ambient state"
+}
+
+func goodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+func goodConversion(d int64) time.Duration {
+	return time.Duration(d) * time.Millisecond
+}
+
+func goodOS(name string) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

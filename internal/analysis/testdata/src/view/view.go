@@ -1,0 +1,31 @@
+// Package view is a minimal replica of hidinglcp/internal/view for
+// analyzer fixtures: the analyzers match on the package name "view" and
+// the View type shape, so fixtures stay self-contained.
+package view
+
+// View mirrors the fields of the real radius-r view.
+type View struct {
+	Radius int
+	Adj    [][]int
+	Dist   []int
+	Ports  map[[2]int]int
+	IDs    []int
+	Labels []string
+	NBound int
+}
+
+// N returns the number of nodes in the view.
+func (v *View) N() int { return len(v.Adj) }
+
+// Degree returns the local degree of node i.
+func (v *View) Degree(i int) int { return len(v.Adj[i]) }
+
+// LocalNodeWithID returns the local index carrying identifier id, or -1.
+func (v *View) LocalNodeWithID(id int) int {
+	for i, x := range v.IDs {
+		if x != 0 && x == id {
+			return i
+		}
+	}
+	return -1
+}

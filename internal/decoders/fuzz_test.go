@@ -1,0 +1,62 @@
+package decoders_test
+
+import (
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/sanitize"
+)
+
+// fuzzDecide decodes a graph6 string into a host graph, derives a labeling
+// from the fuzzed bytes (mostly alphabet certificates, occasionally raw
+// garbage so label parsing is exercised too), and runs the scheme's decoder
+// at every node under the determinism sanitizer. The decoder must neither
+// panic on any input nor violate the purity contract; accept/reject is
+// unconstrained because the labeling is adversarial.
+func fuzzDecide(f *testing.F, s core.Scheme, alphabet []string) {
+	for _, g := range []*graph.Graph{graph.Path(2), graph.Path(4), graph.MustCycle(6), graph.Star(4)} {
+		g6, err := g.Graph6()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g6, []byte{0, 1, 2, 3})
+	}
+	f.Fuzz(func(t *testing.T, g6 string, labelBytes []byte) {
+		g, err := graph.ParseGraph6(g6)
+		if err != nil || g.N() == 0 || g.N() > 16 {
+			t.Skip()
+		}
+		labels := make([]string, g.N())
+		for v := range labels {
+			var b byte
+			if len(labelBytes) > 0 {
+				b = labelBytes[v%len(labelBytes)]
+			}
+			if b >= 0xf0 {
+				labels[v] = string(labelBytes) // raw garbage certificate
+			} else {
+				labels[v] = alphabet[int(b)%len(alphabet)]
+			}
+		}
+		l, err := core.NewLabeled(core.NewAnonymousInstance(g), labels)
+		if err != nil {
+			t.Skip()
+		}
+		san := sanitize.Wrap(s.Decoder, sanitize.Config{
+			Report: func(v *sanitize.Violation) { t.Error(v) },
+		})
+		if _, err := core.Run(san, l); err != nil {
+			t.Fatalf("running %s decoder: %v", s.Name, err)
+		}
+	})
+}
+
+func FuzzDegreeOneDecide(f *testing.F) {
+	fuzzDecide(f, decoders.DegreeOne(), decoders.DegOneAlphabet())
+}
+
+func FuzzEvenCycleDecide(f *testing.F) {
+	fuzzDecide(f, decoders.EvenCycle(), decoders.EvenCycleAlphabet())
+}

@@ -325,6 +325,9 @@ func (s *decoderSpace) oddCycleMasks(corpus []core.Instance) []uint64 {
 	for mask := range set {
 		out = append(out, mask)
 	}
+	// Deterministic order: the masks feed the minimality filter and the
+	// reported counts, which must not vary with map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

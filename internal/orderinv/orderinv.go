@@ -29,6 +29,18 @@ func OrderInvariantify(d core.Decoder, monoSet []int) core.Decoder {
 	})
 }
 
+// RemapViewIDs returns a copy of mu whose identifiers are replaced
+// order-preservingly by the smallest values of the set target (which need
+// not be sorted), or ok=false when the view carries more distinct
+// identifiers than |target|. Besides OrderInvariantify above, the runtime
+// decoder sanitizer (internal/sanitize) uses it to probe decoders for
+// order-invariance violations.
+func RemapViewIDs(mu *view.View, target []int) (*view.View, bool) {
+	sorted := append([]int(nil), target...)
+	sort.Ints(sorted)
+	return remapViewIDs(mu, sorted)
+}
+
 // remapViewIDs returns a copy of mu whose identifiers are replaced
 // order-preservingly by the smallest values of the ascending set target.
 func remapViewIDs(mu *view.View, target []int) (*view.View, bool) {

@@ -1,0 +1,285 @@
+// Package sanitize is the dynamic half of the decoder determinism
+// contract (the static half is internal/analysis + cmd/lcplint): a
+// core.Decoder wrapper that re-runs every Decide call under
+// behavior-preserving transformations of the view and fails loudly on any
+// divergence. The transformations exercise exactly the freedoms the model
+// grants the environment, so a divergence is always a contract violation,
+// never a false positive:
+//
+//   - Repetition: Decide on an identical copy must return the same answer
+//     (catches hidden state, map-iteration races, ambient randomness).
+//   - Immutability: the view compares deep-equal before and after Decide
+//     (views are shared between nodes, caches, and worker pools).
+//   - Relabeling: local node numbers inside a distance class reflect
+//     arbitrary host-graph indices, so Decide must be invariant under
+//     distance-class-preserving renumberings — including the induced
+//     rekeying of the port map (catches dependence on extraction order).
+//   - Anonymity: a decoder with Anonymous() == true must decide identically
+//     on the identifier-erased view.
+//   - Order-invariance (opt-in, Config.OrderInvariant): order-preserving
+//     identifier remaps via orderinv.RemapViewIDs must not change the
+//     answer. Off by default because schemes that embed identifiers in
+//     certificates (shatter, watermelon) are legitimately sensitive to the
+//     remap desynchronizing labels from identifiers.
+//
+// Wrap the decoder of any scheme before running core or nbhd checks to
+// sanitize every view the check visits; CheckScheme bundles that pattern.
+package sanitize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/orderinv"
+	"hidinglcp/internal/view"
+)
+
+// Config tunes the sanitizer. The zero value enables every default check
+// with deterministic probe permutations.
+type Config struct {
+	// Repeats is the number of identical re-invocations per Decide call
+	// (default 2).
+	Repeats int
+	// Relabelings is the number of random distance-class-preserving
+	// renumberings probed per Decide call (default 3).
+	Relabelings int
+	// OrderInvariant additionally probes order-preserving identifier
+	// remaps. Enable for decoders that claim order-invariance.
+	OrderInvariant bool
+	// Seed drives the probe permutations; runs are deterministic for a
+	// fixed seed (default 1).
+	Seed int64
+	// Report receives each violation. Nil panics on the first violation,
+	// which is the fail-loudly default for tests and checks.
+	Report func(*Violation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Repeats == 0 {
+		c.Repeats = 2
+	}
+	if c.Relabelings == 0 {
+		c.Relabelings = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Violation describes one detected contract breach.
+type Violation struct {
+	// Check names the probe that diverged: "repeat", "mutation",
+	// "relabeling", "anonymity", or "order-invariance".
+	Check string
+	// Detail is a human-readable account of the divergence.
+	Detail string
+	// View is the offending input view (the caller's original).
+	View *view.View
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("decoder determinism violation [%s]: %s (on %s)", v.Check, v.Detail, v.View)
+}
+
+// Sanitizer is a core.Decoder that forwards to the wrapped decoder while
+// probing every Decide call. It is itself stateless apart from the
+// violation log and the probe RNG, and safe for the sequential use all
+// repository checkers perform.
+type Sanitizer struct {
+	inner core.Decoder
+	cfg   Config
+	rng   *rand.Rand
+	count int
+}
+
+var _ core.Decoder = (*Sanitizer)(nil)
+
+// Wrap builds a sanitizing decoder around d.
+func Wrap(d core.Decoder, cfg Config) *Sanitizer {
+	cfg = cfg.withDefaults()
+	return &Sanitizer{
+		inner: d,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Rounds forwards to the wrapped decoder.
+func (s *Sanitizer) Rounds() int { return s.inner.Rounds() }
+
+// Anonymous forwards to the wrapped decoder.
+func (s *Sanitizer) Anonymous() bool { return s.inner.Anonymous() }
+
+// Decisions returns the number of Decide calls sanitized so far.
+func (s *Sanitizer) Decisions() int { return s.count }
+
+// Decide forwards to the wrapped decoder and probes the call. On a clean
+// decoder it is output-equivalent to the wrapped Decide.
+func (s *Sanitizer) Decide(mu *view.View) bool {
+	// The sanitizer is instrumentation around decoders, not a decoder under
+	// the purity contract: the decision counter is probe bookkeeping.
+	//lint:ignore decoderpurity the Decisions() counter is sanitizer instrumentation, not decoder state
+	s.count++
+	snap := mu.Clone()
+	out := s.inner.Decide(mu)
+
+	if !viewsDeepEqual(mu, snap) {
+		s.violate("mutation", mu, "Decide mutated its view argument")
+		// Continue probing against the pristine snapshot.
+	}
+	for i := 0; i < s.cfg.Repeats; i++ {
+		if got := s.inner.Decide(snap.Clone()); got != out {
+			s.violate("repeat", mu, fmt.Sprintf("repeated invocation %d returned %v, first returned %v", i+1, got, out))
+		}
+	}
+	for i := 0; i < s.cfg.Relabelings; i++ {
+		perm, free := distClassPerm(snap, s.rng)
+		if !free {
+			break // every distance class is a singleton; nothing to probe
+		}
+		if got := s.inner.Decide(relabelView(snap, perm)); got != out {
+			s.violate("relabeling", mu, fmt.Sprintf(
+				"distance-class-preserving renumbering %v changed the output from %v to %v; Decide depends on extraction order", perm, out, got))
+		}
+	}
+	if s.inner.Anonymous() && !snap.Anonymous() {
+		if got := s.inner.Decide(snap.Anonymize()); got != out {
+			s.violate("anonymity", mu, fmt.Sprintf(
+				"anonymized view changed the output from %v to %v although Anonymous() is true", out, got))
+		}
+	}
+	if s.cfg.OrderInvariant {
+		if remapped, ok := orderinv.RemapViewIDs(snap, shiftedIDTargets(snap)); ok {
+			if got := s.inner.Decide(remapped); got != out {
+				s.violate("order-invariance", mu, fmt.Sprintf(
+					"order-preserving identifier remap changed the output from %v to %v", out, got))
+			}
+		}
+	}
+	return out
+}
+
+// violate reports through the configured sink, panicking by default.
+func (s *Sanitizer) violate(check string, mu *view.View, detail string) {
+	v := &Violation{Check: check, Detail: detail, View: mu}
+	if s.cfg.Report != nil {
+		s.cfg.Report(v)
+		return
+	}
+	panic(v.Error())
+}
+
+// viewsDeepEqual compares every field of two views, including map
+// contents.
+func viewsDeepEqual(a, b *view.View) bool {
+	return a.Radius == b.Radius &&
+		a.NBound == b.NBound &&
+		reflect.DeepEqual(a.Adj, b.Adj) &&
+		reflect.DeepEqual(a.Dist, b.Dist) &&
+		reflect.DeepEqual(a.Ports, b.Ports) &&
+		reflect.DeepEqual(a.IDs, b.IDs) &&
+		reflect.DeepEqual(a.Labels, b.Labels)
+}
+
+// distClassPerm draws a random permutation of local nodes that fixes the
+// center and permutes only within distance classes — exactly the freedom
+// the arbitrary host-graph numbering grants view extraction. free is false
+// when every class is a singleton, i.e. the view admits no renumbering at
+// all (the drawn permutation may still be the identity; that probe is then
+// trivially satisfied).
+func distClassPerm(mu *view.View, rng *rand.Rand) (perm []int, free bool) {
+	n := mu.N()
+	classes := map[int][]int{}
+	for i := 1; i < n; i++ {
+		classes[mu.Dist[i]] = append(classes[mu.Dist[i]], i)
+	}
+	perm = make([]int, n)
+	perm[view.Center] = view.Center
+	for d := 0; d <= mu.Radius; d++ {
+		members := classes[d]
+		if len(members) == 0 {
+			continue
+		}
+		if len(members) > 1 {
+			free = true
+		}
+		shuffled := append([]int(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for k, src := range members {
+			perm[src] = shuffled[k]
+		}
+	}
+	return perm, free
+}
+
+// relabelView applies perm (old local index -> new local index) to mu,
+// producing the view the same extraction would yield under a host
+// numbering permuted within distance classes. Adjacency stays sorted and
+// the port map is rekeyed, matching view.Extract's invariants.
+func relabelView(mu *view.View, perm []int) *view.View {
+	n := mu.N()
+	out := &view.View{
+		Radius: mu.Radius,
+		Adj:    make([][]int, n),
+		Dist:   make([]int, n),
+		Ports:  make(map[[2]int]int, len(mu.Ports)),
+		IDs:    make([]int, n),
+		Labels: make([]string, n),
+		NBound: mu.NBound,
+	}
+	for i := 0; i < n; i++ {
+		ni := perm[i]
+		out.Dist[ni] = mu.Dist[i]
+		out.IDs[ni] = mu.IDs[i]
+		out.Labels[ni] = mu.Labels[i]
+		adj := make([]int, len(mu.Adj[i]))
+		for k, j := range mu.Adj[i] {
+			adj[k] = perm[j]
+		}
+		sortInts(adj)
+		out.Adj[ni] = adj
+	}
+	for key, p := range mu.Ports {
+		out.Ports[[2]int{perm[key[0]], perm[key[1]]}] = p
+	}
+	return out
+}
+
+// sortInts is a tiny insertion sort; adjacency lists are short.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// shiftedIDTargets builds a remap target set that preserves identifier
+// order but changes every value (id -> spread ranks), staying within a
+// padded NBound so the remapped view remains well-formed.
+func shiftedIDTargets(mu *view.View) []int {
+	distinct := map[int]bool{}
+	for _, id := range mu.IDs {
+		if id != 0 {
+			distinct[id] = true
+		}
+	}
+	maxID := 0
+	for id := range distinct {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	targets := make([]int, 0, len(distinct))
+	for i := 0; i < len(distinct); i++ {
+		// maxID+1, maxID+2, ...: ascending and strictly above every
+		// original identifier, so the remap changes every value.
+		// RemapViewIDs pads NBound when the targets exceed it.
+		targets = append(targets, maxID+1+i)
+	}
+	return targets
+}

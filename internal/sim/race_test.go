@@ -1,0 +1,62 @@
+//go:build race
+
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+)
+
+// TestRaceGatherStress hammers the message-passing simulator from many
+// goroutines at once — far beyond what the functional tests exercise — so
+// the race detector sees every channel handoff and stats-mutex interleaving.
+// The file is built only under -race: it is a regression guard for the data
+// races the detector would catch, not a functional test.
+func TestRaceGatherStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	type job struct {
+		l core.Labeled
+		r int
+	}
+	var jobs []job
+	for trial := 0; trial < 6; trial++ {
+		g := graph.ConnectedGNP(8+rng.Intn(6), 0.35, rng)
+		l := labeled(g, randomLabels(g.N(), rng))
+		for r := 0; r <= 3; r++ {
+			jobs = append(jobs, job{l, r})
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, j := range jobs {
+				if i%2 != w%2 {
+					continue
+				}
+				got, _, err := Gather(j.l, j.r)
+				if err != nil {
+					t.Errorf("worker %d: Gather(r=%d): %v", w, j.r, err)
+					return
+				}
+				want, err := j.l.Views(j.r)
+				if err != nil {
+					t.Errorf("worker %d: Views(r=%d): %v", w, j.r, err)
+					return
+				}
+				for v := range got {
+					if got[v].Key() != want[v].Key() {
+						t.Errorf("worker %d: node %d radius %d: gathered view differs", w, v, j.r)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

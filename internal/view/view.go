@@ -90,6 +90,12 @@ func (v *View) Anonymize() *View {
 	return c
 }
 
+// Clone returns a deep copy of v sharing no mutable state with the
+// original. The runtime decoder sanitizer (internal/sanitize) uses it to
+// snapshot views before and after Decide calls; views are contractually
+// immutable, so regular callers never need it.
+func (v *View) Clone() *View { return v.clone() }
+
 func (v *View) clone() *View {
 	c := &View{
 		Radius: v.Radius,
