@@ -1,6 +1,7 @@
 package hidinglcp_test
 
 import (
+	"fmt"
 	"testing"
 
 	"hidinglcp/internal/core"
@@ -144,11 +145,47 @@ func BenchmarkNeighborhoodGraph(b *testing.B) {
 	b.Run("degree-one/n4-parallel", func(b *testing.B) {
 		fam := decoders.DegOneFamily(4)
 		for i := 0; i < b.N; i++ {
-			if _, err := nbhd.BuildParallel(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), fam...), 0); err != nil {
+			if _, err := nbhd.BuildParallel(s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), fam...), 0); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("degree-one/n4-sharded-w%d", w), func(b *testing.B) {
+			fam := decoders.DegOneFamily(4)
+			for i := 0; i < b.N; i++ {
+				if _, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), fam...), 4*w, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedEnumeration isolates the sharded enumeration layer from
+// view extraction: it drains the n=4 DegreeOne labeling space through the
+// work-stealing driver at several shard/worker counts, against the
+// single-shard baseline.
+func BenchmarkShardedEnumeration(b *testing.B) {
+	fam := decoders.DegOneFamily(4)
+	se := nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), fam...)
+	want, err := nbhd.CountInstances(se, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct{ shards, workers int }{{1, 1}, {4, 1}, {8, 2}, {16, 4}, {32, 8}} {
+		b.Run(fmt.Sprintf("shards%d-w%d", c.shards, c.workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got, err := nbhd.CountInstances(se, c.shards, c.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got != want {
+					b.Fatalf("counted %d instances, want %d", got, want)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkE15KColoring times the k-coloring generalization experiment.
@@ -192,6 +229,23 @@ func BenchmarkSoundnessSearch(b *testing.B) {
 			}
 		}
 	})
+	big := core.NewAnonymousInstance(graph.MustCycle(7))
+	b.Run("exhaustive-4^7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := core.ExhaustiveStrongSoundness(s.Decoder, s.Promise.Lang, big, decoders.DegOneAlphabet()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("exhaustive-4^7-parallel-w%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, big, decoders.DegOneAlphabet(), 4*w, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimulator ablates goroutine-per-node vs sequential round-loop

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"hidinglcp/internal/experiments"
+)
+
+// TestTablesMatchExperimentsMD regenerates every experiment table in-process
+// and requires its exact rendering to appear in the committed EXPERIMENTS.md.
+// This pins two things at once: the experiments are deterministic across
+// runs and machines (including under the sharded parallel drivers, which
+// must be bit-identical to the sequential ones), and the committed results
+// file cannot silently drift from the code.
+func TestTablesMatchExperimentsMD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	data, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := string(data)
+	for _, r := range experiments.All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			table := r.Run()
+			if table.Err != nil {
+				t.Fatalf("%s failed: %v", r.ID, table.Err)
+			}
+			rendered := strings.TrimSpace(table.Render())
+			if !strings.Contains(committed, rendered) {
+				t.Errorf("%s: regenerated table not found in EXPERIMENTS.md;\nregenerate the file or fix the drift:\n%s", r.ID, rendered)
+			}
+		})
+	}
+}
+
+// TestTablesDeterministicUnderParallelism re-renders a parallelized subset
+// at several shard/worker settings and demands byte-identical output — the
+// golden diff above only pins the default configuration.
+func TestTablesDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated experiment runs in -short mode")
+	}
+	defer experiments.SetParallelism(0, 0)
+	for _, r := range experiments.All() {
+		if r.ID != "E3" && r.ID != "E12" {
+			continue
+		}
+		experiments.SetParallelism(0, 0)
+		baseTable := r.Run()
+		base := baseTable.Render()
+		for _, p := range []struct{ shards, workers int }{{1, 1}, {16, 4}, {5, 3}} {
+			experiments.SetParallelism(p.shards, p.workers)
+			table := r.Run()
+			if got := table.Render(); got != base {
+				t.Errorf("%s: output differs at shards=%d workers=%d", r.ID, p.shards, p.workers)
+			}
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-only E3] [-list]
+//	experiments [-only E3] [-list] [-shards N] [-workers N]
 package main
 
 import (
@@ -18,8 +18,11 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	shards := flag.Int("shards", 0, "shard count for the parallel search/build phases (0 = 4 per worker)")
+	workers := flag.Int("workers", 0, "worker count for the parallel search/build phases (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	experiments.SetParallelism(*shards, *workers)
 	if err := run(*only, *list); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)

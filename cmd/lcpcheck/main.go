@@ -33,6 +33,9 @@ func main() {
 	conflicts := flag.Bool("conflicts", false, "compute the hidden-fraction conflict report")
 	distributed := flag.Bool("distributed", false, "verify via the message-passing simulator")
 	sanitized := flag.Bool("sanitize", false, "re-run every decoder decision under the determinism sanitizer")
+	exhaustive := flag.Bool("exhaustive", false, "exhaustively search all labelings of the instance for strong-soundness violations")
+	shards := flag.Int("shards", 0, "shard count for the exhaustive search (0 = 4 per worker)")
+	workers := flag.Int("workers", 0, "worker count for the exhaustive search (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *schemeName == "help" {
@@ -41,13 +44,18 @@ func main() {
 		}
 		return
 	}
-	if err := run(*schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized); err != nil {
+	if err := run(*schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitized bool) error {
+// maxExhaustiveLabelings bounds the |alphabet|^n search space -exhaustive
+// accepts; beyond this the sweep runs for hours and the caller almost
+// certainly mistyped the graph size.
+const maxExhaustiveLabelings = 20_000_000
+
+func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
 	s, err := cli.SchemeByName(schemeName)
 	if err != nil {
 		return err
@@ -112,6 +120,24 @@ func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitize
 		}
 		fmt.Printf("extraction conflicts: %d distinct views, min bad edges %d, fail fraction %.2f\n",
 			report.DistinctViews, report.MinBadEdges, report.FailFraction)
+	}
+	if exhaustive {
+		alphabet, err := cli.AlphabetFor(schemeName)
+		if err != nil {
+			return err
+		}
+		space := 1.0
+		for i := 0; i < g.N(); i++ {
+			space *= float64(len(alphabet))
+		}
+		if space > maxExhaustiveLabelings {
+			return fmt.Errorf("exhaustive search needs %.0f labelings (%d^%d); refusing above %d — use a smaller graph",
+				space, len(alphabet), g.N(), maxExhaustiveLabelings)
+		}
+		if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, alphabet, shards, workers); err != nil {
+			return err
+		}
+		fmt.Printf("strong soundness: no violation across %.0f labelings (%d^%d)\n", space, len(alphabet), g.N())
 	}
 	if sanResult != nil {
 		if err := sanResult.Err(); err != nil {

@@ -23,7 +23,30 @@ func TestRunSchemes(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.scheme, tt.graph, true, true, tt.distributed, true)
+			err := run(tt.scheme, tt.graph, true, true, tt.distributed, true, false, 0, 0)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	tests := []struct {
+		name    string
+		scheme  string
+		graph   string
+		wantErr bool
+	}{
+		{"trivial on path", "trivial", "path:4", false},
+		{"degree-one on path", "degree-one", "path:5", false},
+		{"sharded degree-one", "degree-one", "path:5", false},
+		{"no finite alphabet", "shatter", "grid:3x4", true},
+		{"space too large", "even-cycle", "cycle:8", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.scheme, tt.graph, false, false, false, false, true, 8, 2)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}

@@ -28,15 +28,17 @@ func main() {
 	schemeName := flag.String("scheme", "degree-one", "scheme whose neighborhood graph to build")
 	graphsSpec := flag.String("graphs", "", "comma-separated graph specs for a prover-labeled custom family (default: the scheme's canonical hiding family)")
 	dotPath := flag.String("dot", "", "write the neighborhood graph in DOT format to this file")
+	shards := flag.Int("shards", 0, "shard count for the parallel build (0 = 4 per worker)")
+	workers := flag.Int("workers", 0, "worker count for the parallel build (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*schemeName, *graphsSpec, *dotPath); err != nil {
+	if err := run(*schemeName, *graphsSpec, *dotPath, *shards, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "nbhdgraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName, graphsSpec, dotPath string) error {
+func run(schemeName, graphsSpec, dotPath string, shards, workers int) error {
 	s, err := cli.SchemeByName(schemeName)
 	if err != nil {
 		return err
@@ -45,7 +47,7 @@ func run(schemeName, graphsSpec, dotPath string) error {
 	if err != nil {
 		return err
 	}
-	ng, err := nbhd.Build(s.Decoder, enum)
+	ng, err := nbhd.BuildSharded(s.Decoder, enum, shards, workers)
 	if err != nil {
 		return err
 	}
@@ -69,8 +71,9 @@ func run(schemeName, graphsSpec, dotPath string) error {
 }
 
 // familyFor picks the canonical hiding family for a scheme, or builds a
-// prover-labeled family from explicit graph specs.
-func familyFor(s core.Scheme, schemeName, graphsSpec string) (nbhd.Enumerator, string, error) {
+// prover-labeled family from explicit graph specs. Families come back
+// sharded so the build can run on multiple workers.
+func familyFor(s core.Scheme, schemeName, graphsSpec string) (nbhd.ShardedEnumerator, string, error) {
 	if graphsSpec != "" {
 		var insts []core.Instance
 		for _, spec := range strings.Split(graphsSpec, ",") {
@@ -84,27 +87,27 @@ func familyFor(s core.Scheme, schemeName, graphsSpec string) (nbhd.Enumerator, s
 				insts = append(insts, core.NewInstance(g))
 			}
 		}
-		return nbhd.ProverLabeled(s, insts...), fmt.Sprintf("prover-labeled %s", graphsSpec), nil
+		return nbhd.ShardedProverLabeled(s, insts...), fmt.Sprintf("prover-labeled %s", graphsSpec), nil
 	}
 	switch schemeName {
 	case "degree-one", "union":
-		return nbhd.AllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...),
+		return nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...),
 			"exhaustive connected bipartite δ=1 slice, n <= 4, all ports and labelings", nil
 	case "even-cycle":
 		family, err := decoders.EvenCycleFamily(4, 6)
 		if err != nil {
 			return nil, "", err
 		}
-		return nbhd.FromLabeled(family...), "all yes-instances on C4 and C6 (every port assignment, both phases)", nil
+		return nbhd.ShardedFromLabeled(family...), "all yes-instances on C4 and C6 (every port assignment, both phases)", nil
 	case "shatter", "shatter-literal":
 		l1, l2 := decoders.ShatterHidingPair()
-		return nbhd.FromLabeled(l1, l2), "the paper's P8/P7 hiding pair", nil
+		return nbhd.ShardedFromLabeled(l1, l2), "the paper's P8/P7 hiding pair", nil
 	case "watermelon":
 		family, err := decoders.WatermelonHidingFamily()
 		if err != nil {
 			return nil, "", err
 		}
-		return nbhd.FromLabeled(family...), "P8 identifier pair + rotated even-cycle watermelons", nil
+		return nbhd.ShardedFromLabeled(family...), "P8 identifier pair + rotated even-cycle watermelons", nil
 	case "trivial", "trivial3":
 		return nil, "", fmt.Errorf("the trivial scheme needs an explicit -graphs family")
 	default:

@@ -41,6 +41,31 @@ func SchemeByName(name string) (core.Scheme, error) {
 	}
 }
 
+// AlphabetFor returns the certificate alphabet used for exhaustive
+// strong-soundness searches over a scheme's label space, including a
+// garbage symbol where the well-formed alphabet alone would make the
+// search vacuous. Schemes whose certificates embed identifiers (shatter,
+// watermelon) have no finite instance-independent alphabet and return an
+// error.
+func AlphabetFor(name string) ([]string, error) {
+	switch name {
+	case "trivial":
+		return []string{"0", "1", "x"}, nil
+	case "trivial3":
+		return []string{"0", "1", "2", "x"}, nil
+	case "degree-one":
+		return decoders.DegOneAlphabet(), nil
+	case "even-cycle":
+		return decoders.EvenCycleAlphabet(), nil
+	case "union":
+		return append(decoders.DegOneAlphabet(), decoders.EvenCycleAlphabet()...), nil
+	case "shatter", "shatter-literal", "watermelon":
+		return nil, fmt.Errorf("scheme %q has identifier-dependent certificates; no finite alphabet to sweep", name)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+	}
+}
+
 // ParseGraph builds a graph from a specification of the form family:args.
 // Families: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,
 // binarytree:LEVELS, spider:a,b,c, watermelon:l1,l2,..., petersen.

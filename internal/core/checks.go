@@ -128,6 +128,9 @@ func CheckAnonymous(d Decoder, l Labeled, idSets []graph.IDs, nBounds []int) err
 		alt := l
 		alt.IDs = ids
 		alt.NBound = nBounds[i]
+		if err := alt.Validate(); err != nil {
+			return fmt.Errorf("assignment %d: %w", i, err)
+		}
 		outs, err := Run(d, alt)
 		if err != nil {
 			return err
@@ -154,10 +157,13 @@ func CheckOrderInvariant(d Decoder, l Labeled, idSets []graph.IDs, nBound int) e
 		outs []bool
 	}
 	var results []result
-	for _, ids := range idSets {
+	for i, ids := range idSets {
 		alt := l
 		alt.IDs = ids
 		alt.NBound = nBound
+		if err := alt.Validate(); err != nil {
+			return fmt.Errorf("assignment %d: %w", i, err)
+		}
 		outs, err := Run(d, alt)
 		if err != nil {
 			return err

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hidinglcp/internal/graph"
+)
+
+func resolveShardsWorkers(shards, workers int) (int, int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if shards <= 0 {
+		shards = 4 * workers
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return shards, workers
+}
+
+// ExhaustiveStrongSoundnessParallel is ExhaustiveStrongSoundness with the
+// |alphabet|^n labeling space split into labeling-prefix shards
+// (graph.EnumLabelingsShard) searched by a worker pool. It returns exactly
+// the error the sequential search returns: the violation at the
+// lexicographically first violating labeling, found via rank-based pruning —
+// workers abandon any shard position whose labeling rank exceeds the best
+// violation seen so far, and the minimum-rank violation is reported.
+//
+// shards <= 0 selects 4 per worker; workers <= 0 selects GOMAXPROCS. The
+// search falls back to the sequential path when only one worker or shard
+// results, or when the labeling space is too large for 64-bit ranks.
+func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
+	n := inst.G.N()
+	shards, workers = resolveShardsWorkers(shards, workers)
+	if workers == 1 || shards == 1 || !graph.LabelingRankFits(n, len(alphabet)) {
+		return ExhaustiveStrongSoundness(d, lang, inst, alphabet)
+	}
+
+	var best atomic.Uint64
+	best.Store(math.MaxUint64)
+	var mu sync.Mutex
+	found := map[uint64]error{}
+	record := func(r uint64, err error) {
+		for {
+			cur := best.Load()
+			if r >= cur {
+				return
+			}
+			if best.CompareAndSwap(cur, r) {
+				mu.Lock()
+				found[r] = err
+				mu.Unlock()
+				return
+			}
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				graph.EnumLabelingsShard(n, len(alphabet), s, shards, func(idx []int) bool {
+					r := graph.LabelingRank(idx, len(alphabet))
+					// Ranks increase within a shard, so everything past the
+					// best violation is prunable: any violation there would
+					// rank higher and lose to the recorded one anyway.
+					if r >= best.Load() {
+						return false
+					}
+					labels := make([]string, n)
+					for v, a := range idx {
+						labels[v] = alphabet[a]
+					}
+					if err := CheckStrongSoundness(d, lang, MustNewLabeled(inst, labels)); err != nil {
+						record(r, err)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	r := best.Load()
+	if r == math.MaxUint64 {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return found[r]
+}
+
+// FuzzStrongSoundnessParallel is FuzzStrongSoundness with the trials checked
+// by a worker pool. The labelings are pre-drawn from rng in sequential trial
+// order — the identical random stream the sequential fuzzer consumes — and
+// the violation at the lowest trial index is reported, so the result matches
+// FuzzStrongSoundness exactly. (When a violation exists, the sequential
+// fuzzer stops drawing at the violating trial while this variant has already
+// drawn all of them, so the final rng positions differ; the reported
+// violation does not.)
+func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials int, rng *rand.Rand, gen func(node int, rng *rand.Rand) string, workers int) error {
+	n := inst.G.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	drawn := make([][]string, trials)
+	for t := range drawn {
+		labels := make([]string, n)
+		for v := range labels {
+			labels[v] = gen(v, rng)
+		}
+		drawn[t] = labels
+	}
+
+	bestT := int64(trials)
+	var best atomic.Int64
+	best.Store(bestT)
+	var mu sync.Mutex
+	found := map[int64]error{}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := next.Add(1) - 1
+				// Trials are claimed in increasing order, so once t passes
+				// the best violation every later claim does too.
+				if t >= int64(trials) || t >= best.Load() {
+					return
+				}
+				if err := CheckStrongSoundness(d, lang, MustNewLabeled(inst, drawn[t])); err != nil {
+					for {
+						cur := best.Load()
+						if t >= cur {
+							break
+						}
+						if best.CompareAndSwap(cur, t) {
+							mu.Lock()
+							found[t] = err
+							mu.Unlock()
+							break
+						}
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	t := best.Load()
+	if t == int64(trials) {
+		return nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return fmt.Errorf("trial %d: %w", t, found[t])
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism holds the shard/worker counts the experiment drivers pass to
+// the sharded search and construction primitives. Zero values select the
+// library defaults (4 shards per worker, GOMAXPROCS workers). Every
+// parallelized driver is bit-identical to its sequential run at any
+// setting, so this only affects wall-clock time, never table contents.
+var parallelism = struct {
+	mu      sync.Mutex
+	shards  int
+	workers int
+}{}
+
+// SetParallelism configures the shard and worker counts used by the
+// experiment drivers (cmd/experiments -shards/-workers).
+func SetParallelism(shards, workers int) {
+	parallelism.mu.Lock()
+	defer parallelism.mu.Unlock()
+	parallelism.shards = shards
+	parallelism.workers = workers
+}
+
+func parShardsWorkers() (int, int) {
+	parallelism.mu.Lock()
+	defer parallelism.mu.Unlock()
+	return parallelism.shards, parallelism.workers
+}
+
+// parallelEach runs fn(0..n-1) on the configured number of workers. fn must
+// be safe for concurrent calls on distinct indices; any aggregation across
+// indices is the caller's job and must be order-insensitive (or sorted
+// afterwards) to keep experiment tables deterministic.
+func parallelEach(n int, fn func(i int)) {
+	_, workers := parShardsWorkers()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

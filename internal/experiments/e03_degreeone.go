@@ -44,13 +44,15 @@ func E3DegreeOne() Table {
 	}
 	t.AddRow("completeness", fmt.Sprintf("%d connected bipartite δ=1 graphs, n<=6", completeness), "all accept")
 
-	// Exhaustive strong soundness on every connected graph up to n = 4.
+	// Exhaustive strong soundness on every connected graph up to n = 4,
+	// each 4^n labeling space searched in labeling-prefix shards.
+	shards, workers := parShardsWorkers()
 	checked := 0
 	for n := 2; n <= 4; n++ {
 		graph.EnumConnectedGraphs(n, func(g *graph.Graph) bool {
 			checked++
 			inst := core.NewAnonymousInstance(g.Clone())
-			if err := core.ExhaustiveStrongSoundness(s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet()); err != nil {
+			if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet(), shards, workers); err != nil {
 				t.Err = err
 				return false
 			}
@@ -65,15 +67,15 @@ func E3DegreeOne() Table {
 	rng := rand.New(rand.NewSource(1))
 	gen := func(_ int, rng *rand.Rand) string { return decoders.DegOneAlphabet()[rng.Intn(4)] }
 	for _, g := range []*graph.Graph{graph.Petersen(), graph.Complete(5)} {
-		if err := core.FuzzStrongSoundness(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen); err != nil {
+		if err := core.FuzzStrongSoundnessParallel(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
 			t.Err = err
 			return t
 		}
 	}
 	t.AddRow("strong soundness (fuzz x500)", "Petersen, K5", "no violation")
 
-	// Hiding: exhaustive slice of V(D, 4).
-	ng, err := nbhd.Build(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...))
+	// Hiding: exhaustive slice of V(D, 4), built shard-parallel.
+	ng, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

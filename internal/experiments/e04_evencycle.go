@@ -31,10 +31,12 @@ func E4EvenCycle() Table {
 	t.AddRow("completeness", "C4..C14", "all accept")
 
 	// Exhaustive strong soundness on C3 and C4 over the full 17-symbol
-	// alphabet (16 well-formed certificates + garbage).
+	// alphabet (16 well-formed certificates + garbage), searched in
+	// labeling-prefix shards.
+	shards, workers := parShardsWorkers()
 	for _, n := range []int{3, 4} {
 		inst := core.NewAnonymousInstance(graph.MustCycle(n))
-		if err := core.ExhaustiveStrongSoundness(s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet()); err != nil {
+		if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet(), shards, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -45,7 +47,7 @@ func E4EvenCycle() Table {
 	alpha := decoders.EvenCycleAlphabet()
 	gen := func(_ int, rng *rand.Rand) string { return alpha[rng.Intn(len(alpha))] }
 	for _, g := range []*graph.Graph{graph.MustCycle(5), graph.MustCycle(7), graph.Petersen()} {
-		if err := core.FuzzStrongSoundness(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen); err != nil {
+		if err := core.FuzzStrongSoundnessParallel(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -57,7 +59,7 @@ func E4EvenCycle() Table {
 		t.Err = err
 		return t
 	}
-	ng, err := nbhd.Build(s.Decoder, nbhd.FromLabeled(family...))
+	ng, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedFromLabeled(family...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

@@ -283,42 +283,18 @@ func (s *decoderSpace) stronglySound(mask int, corpus []core.Instance) bool {
 // oddCycleMasks enumerates the simple odd cycles of every corpus instance
 // and returns their class bitmasks: a decoder accepting all classes of some
 // mask accepts an odd cycle somewhere and thus violates strong soundness.
+// The per-instance cycle searches are independent and run on the configured
+// worker pool; the merged mask set is sorted, so the result does not depend
+// on scheduling.
 func (s *decoderSpace) oddCycleMasks(corpus []core.Instance) []uint64 {
+	perInst := make([][]uint64, len(corpus))
+	parallelEach(len(corpus), func(i int) {
+		perInst[i] = s.instanceOddCycleMasks(corpus[i])
+	})
 	set := make(map[uint64]bool)
-	for _, inst := range corpus {
-		vec := s.vecs[inst.Prt]
-		g := inst.G
-		n := g.N()
-		inPath := make([]bool, n)
-		var path []int
-		var dfs func(start, cur int)
-		dfs = func(start, cur int) {
-			for _, nb := range g.Neighbors(cur) {
-				if nb == start && len(path) >= 3 && len(path)%2 == 1 {
-					var mask uint64
-					for _, v := range path {
-						mask |= 1 << uint(vec[v])
-					}
-					set[mask] = true
-					continue
-				}
-				// Anchor cycles at their minimum node to bound the search.
-				if nb <= start || inPath[nb] {
-					continue
-				}
-				inPath[nb] = true
-				path = append(path, nb)
-				dfs(start, nb)
-				path = path[:len(path)-1]
-				inPath[nb] = false
-			}
-		}
-		for start := 0; start < n; start++ {
-			path = path[:0]
-			path = append(path, start)
-			inPath[start] = true
-			dfs(start, start)
-			inPath[start] = false
+	for _, masks := range perInst {
+		for _, mask := range masks {
+			set[mask] = true
 		}
 	}
 	out := make([]uint64, 0, len(set))
@@ -327,6 +303,53 @@ func (s *decoderSpace) oddCycleMasks(corpus []core.Instance) []uint64 {
 	}
 	// Deterministic order: the masks feed the minimality filter and the
 	// reported counts, which must not vary with map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// instanceOddCycleMasks runs the anchored odd-cycle DFS on one instance.
+// It only reads the (frozen after construction) class-vector cache, so
+// concurrent calls on distinct instances are safe.
+func (s *decoderSpace) instanceOddCycleMasks(inst core.Instance) []uint64 {
+	set := make(map[uint64]bool)
+	vec := s.vecs[inst.Prt]
+	g := inst.G
+	n := g.N()
+	inPath := make([]bool, n)
+	var path []int
+	var dfs func(start, cur int)
+	dfs = func(start, cur int) {
+		for _, nb := range g.Neighbors(cur) {
+			if nb == start && len(path) >= 3 && len(path)%2 == 1 {
+				var mask uint64
+				for _, v := range path {
+					mask |= 1 << uint(vec[v])
+				}
+				set[mask] = true
+				continue
+			}
+			// Anchor cycles at their minimum node to bound the search.
+			if nb <= start || inPath[nb] {
+				continue
+			}
+			inPath[nb] = true
+			path = append(path, nb)
+			dfs(start, nb)
+			path = path[:len(path)-1]
+			inPath[nb] = false
+		}
+	}
+	for start := 0; start < n; start++ {
+		path = path[:0]
+		path = append(path, start)
+		inPath[start] = true
+		dfs(start, start)
+		inPath[start] = false
+	}
+	out := make([]uint64, 0, len(set))
+	for mask := range set {
+		out = append(out, mask)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -51,10 +51,17 @@ func ProverLabeled(s core.Scheme, insts ...core.Instance) Enumerator {
 // This is the Lemma 3.1 search restricted to a family and an alphabet;
 // callers keep instances small.
 func AllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
+	return allLabelingsShard(alphabet, insts, 0, 1)
+}
+
+// allLabelingsShard enumerates, per instance, the labelings assigned to the
+// given shard of the labeling-prefix partition (graph.EnumLabelingsShard).
+// shard 0 of 1 is the full sequential enumeration.
+func allLabelingsShard(alphabet []string, insts []core.Instance, shard, shards int) Enumerator {
 	return func(yield func(core.Labeled) bool) error {
 		for _, inst := range insts {
 			stopped := false
-			graph.EnumLabelings(inst.G.N(), len(alphabet), func(idx []int) bool {
+			graph.EnumLabelingsShard(inst.G.N(), len(alphabet), shard, shards, func(idx []int) bool {
 				labels := make([]string, inst.G.N())
 				for v, a := range idx {
 					labels[v] = alphabet[a]
@@ -77,12 +84,18 @@ func AllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
 // assignment of every instance graph. Exponential in both; micro universes
 // only.
 func AllPortsAllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
+	return allPortsAllLabelingsShard(alphabet, insts, 0, 1)
+}
+
+// allPortsAllLabelingsShard ranges over every port assignment of every
+// instance, enumerating only the given labeling-prefix shard under each.
+func allPortsAllLabelingsShard(alphabet []string, insts []core.Instance, shard, shards int) Enumerator {
 	return func(yield func(core.Labeled) bool) error {
 		for _, inst := range insts {
 			stopped := false
 			graph.EnumPorts(inst.G, func(pt *graph.Ports) bool {
 				withPorts := inst.WithPorts(pt)
-				inner := AllLabelings(alphabet, withPorts)
+				inner := allLabelingsShard(alphabet, []core.Instance{withPorts}, shard, shards)
 				if err := inner(func(l core.Labeled) bool {
 					if !yield(l) {
 						stopped = true

@@ -337,13 +337,12 @@ func TestBuildParallelEquivalence(t *testing.T) {
 		core.NewAnonymousInstance(graph.Path(4)),
 		core.NewAnonymousInstance(graph.MustCycle(4)),
 	}
-	mkEnum := func() Enumerator { return AllLabelings([]string{"0", "1", "x"}, insts...) }
-	seq, err := Build(revealDecoder(), mkEnum())
+	seq, err := Build(revealDecoder(), AllLabelings([]string{"0", "1", "x"}, insts...))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{0, 1, 2, 7} {
-		par, err := BuildParallel(revealDecoder(), mkEnum(), workers)
+		par, err := BuildParallel(revealDecoder(), ShardedAllLabelings([]string{"0", "1", "x"}, insts...), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -365,7 +364,7 @@ func TestBuildParallelEquivalence(t *testing.T) {
 
 func TestBuildParallelEnumeratorError(t *testing.T) {
 	bad := core.Labeled{Instance: core.Instance{}, Labels: nil}
-	if _, err := BuildParallel(alwaysAccept(), FromLabeled(bad), 2); err == nil {
+	if _, err := BuildParallel(alwaysAccept(), ShardedFromLabeled(bad), 2); err == nil {
 		t.Error("invalid instance accepted by parallel builder")
 	}
 }

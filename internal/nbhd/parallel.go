@@ -2,89 +2,103 @@ package nbhd
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/graph"
 	"hidinglcp/internal/view"
 )
 
-// BuildParallel is Build with a worker pool: instances stream from the
-// enumerator into workers that extract views and evaluate the decoder;
-// partial results merge at the end. The output is identical to Build's
-// (node order is canonical by view key), making this a pure scheduling
-// ablation — benchmarked against the sequential builder at the repository
-// root. workers <= 0 selects GOMAXPROCS.
-func BuildParallel(d core.Decoder, enum Enumerator, workers int) (*NGraph, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	type partial struct {
-		seen      map[string]*view.View
-		accepting map[string]bool
-		edges     map[[2]string]bool
-		loops     map[string]bool
-	}
-	instances := make(chan core.Labeled, workers)
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		parts[w] = partial{
-			seen:      map[string]*view.View{},
-			accepting: map[string]bool{},
-			edges:     map[[2]string]bool{},
-			loops:     map[string]bool{},
-		}
-		wg.Add(1)
-		go func(p *partial) {
-			defer wg.Done()
-			for l := range instances {
-				views, err := l.Views(d.Rounds())
-				if err != nil {
-					panic(fmt.Sprintf("nbhd.BuildParallel: invalid instance from enumerator: %v", err))
-				}
-				keys := make([]string, len(views))
-				for v, mu := range views {
-					if d.Anonymous() {
-						mu = mu.Anonymize()
-					}
-					k := mu.Key()
-					keys[v] = k
-					if _, ok := p.seen[k]; !ok {
-						p.seen[k] = mu
-					}
-					if !p.accepting[k] && d.Decide(mu) {
-						p.accepting[k] = true
-					}
-				}
-				for _, e := range l.G.Edges() {
-					ka, kb := keys[e[0]], keys[e[1]]
-					if ka == kb {
-						p.loops[ka] = true
-						continue
-					}
-					if ka > kb {
-						ka, kb = kb, ka
-					}
-					p.edges[[2]string{ka, kb}] = true
-				}
-			}
-		}(&parts[w])
-	}
+// partial is one worker's private accumulator for the Lemma 3.1
+// construction. Partials merge through order-insensitive set union, so the
+// final NGraph does not depend on which worker processed which shard.
+type partial struct {
+	seen      map[string]*view.View
+	accepting map[string]bool
+	edges     map[[2]string]bool
+	loops     map[string]bool
+}
 
-	err := enum(func(l core.Labeled) bool {
-		instances <- l
+func newPartial() partial {
+	return partial{
+		seen:      map[string]*view.View{},
+		accepting: map[string]bool{},
+		edges:     map[[2]string]bool{},
+		loops:     map[string]bool{},
+	}
+}
+
+// absorb folds one labeled instance into the partial.
+func (p *partial) absorb(d core.Decoder, l core.Labeled) {
+	views, err := l.Views(d.Rounds())
+	if err != nil {
+		panic(fmt.Sprintf("nbhd.BuildSharded: invalid instance from enumerator: %v", err))
+	}
+	keys := make([]string, len(views))
+	for v, mu := range views {
+		if d.Anonymous() {
+			mu = mu.Anonymize()
+		}
+		k := mu.Key()
+		keys[v] = k
+		if _, ok := p.seen[k]; !ok {
+			p.seen[k] = mu
+		}
+		if !p.accepting[k] && d.Decide(mu) {
+			p.accepting[k] = true
+		}
+	}
+	for _, e := range l.G.Edges() {
+		ka, kb := keys[e[0]], keys[e[1]]
+		if ka == kb {
+			p.loops[ka] = true
+			continue
+		}
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		p.edges[[2]string{ka, kb}] = true
+	}
+}
+
+// BuildSharded is Build driven by a sharded enumerator: the instance space
+// splits into `shards` disjoint sub-enumerators claimed work-stealing-style
+// by `workers` goroutines, each accumulating a private partial result; the
+// partials merge deterministically (set union, then canonical key-sorted
+// node order) into the same NGraph Build produces. There is no producer
+// goroutine and no channel on the hot path — each worker enumerates its own
+// shards — which is what lets the construction scale past the
+// single-producer bound measured in DESIGN.md Section 4.
+//
+// shards <= 0 selects 4 per worker; workers <= 0 selects GOMAXPROCS. The
+// output is bit-identical to Build's for every shard/worker count
+// (property-tested in shard_test.go).
+func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
+	shards, workers = resolveShardsWorkers(shards, workers)
+	parts := make([]partial, workers)
+	for w := range parts {
+		parts[w] = newPartial()
+	}
+	err := ForEachShard(se, shards, workers, func(w int, l core.Labeled) bool {
+		parts[w].absorb(d, l)
 		return true
 	})
-	close(instances)
-	wg.Wait()
 	if err != nil {
 		return nil, fmt.Errorf("enumerating instances: %w", err)
 	}
+	return mergePartials(parts)
+}
 
-	// Merge.
+// BuildParallel is BuildSharded with the default shard count. It replaces
+// the previous single-producer worker pool, whose channel hand-off per
+// instance bounded throughput (DESIGN.md Section 4).
+func BuildParallel(d core.Decoder, se ShardedEnumerator, workers int) (*NGraph, error) {
+	return BuildSharded(d, se, 0, workers)
+}
+
+// mergePartials unions the worker partials and assembles the NGraph in the
+// canonical key-sorted order Build uses.
+func mergePartials(parts []partial) (*NGraph, error) {
 	seen := map[string]*view.View{}
 	accepting := map[string]bool{}
 	edges := map[[2]string]bool{}
@@ -124,7 +138,7 @@ func BuildParallel(d core.Decoder, enum Enumerator, workers int) (*NGraph, error
 		ia, oka := ng.index[e[0]]
 		ib, okb := ng.index[e[1]]
 		if !oka || !okb {
-			continue
+			continue // an endpoint never accepts anywhere
 		}
 		if !ng.g.HasEdge(ia, ib) {
 			if err := ng.g.AddEdge(ia, ib); err != nil {

@@ -10,11 +10,11 @@ import (
 	"hidinglcp/internal/graph"
 )
 
-// TestRaceBuildParallelStress runs several worker-pool neighborhood-graph
+// TestRaceBuildParallelStress runs several sharded neighborhood-graph
 // builds concurrently with high worker counts, so the race detector
-// exercises the instance channel, the per-worker partials, and the merge.
-// Built only under -race as a regression guard; equivalence with the
-// sequential builder is proven by TestBuildParallelEquivalence.
+// exercises the work-stealing shard counter, the per-worker partials, and
+// the merge. Built only under -race as a regression guard; equivalence with
+// the sequential builder is proven by TestBuildShardedDecoderEquivalence.
 func TestRaceBuildParallelStress(t *testing.T) {
 	insts := []core.Instance{
 		core.NewAnonymousInstance(graph.Path(3)),
@@ -31,7 +31,7 @@ func TestRaceBuildParallelStress(t *testing.T) {
 		wg.Add(1)
 		go func(workers int) {
 			defer wg.Done()
-			par, err := BuildParallel(revealDecoder(), AllLabelings([]string{"0", "1", "x"}, insts...), workers)
+			par, err := BuildParallel(revealDecoder(), ShardedAllLabelings([]string{"0", "1", "x"}, insts...), workers)
 			if err != nil {
 				t.Errorf("workers=%d: %v", workers, err)
 				return
