@@ -46,9 +46,29 @@ func BenchmarkE14Baseline(b *testing.B)  { benchExperiment(b, experiments.E14Bas
 
 // ---- Micro-benchmarks and ablations (DESIGN.md Section 4) ----
 
-// BenchmarkViewExtract measures centralized radius-r view extraction, the
-// inner loop of every property checker.
+// BenchmarkViewExtract measures radius-r view extraction the way every
+// checker loop runs it: through a reused Extractor, whose BFS scratch is
+// shared across calls and whose templates share the label-independent view
+// structure.
 func BenchmarkViewExtract(b *testing.B) {
+	g := graph.Grid(8, 8)
+	pt := graph.DefaultPorts(g)
+	ids := graph.SequentialIDs(g.N())
+	labels := make([]string, g.N())
+	ex := view.NewExtractor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= 2; r++ {
+			if _, err := ex.Extract(g, pt, ids, labels, g.N(), (i+r)%g.N(), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkViewExtractOneShot measures the package-level one-shot Extract
+// (fresh scratch every call) — the ablation baseline for the Extractor.
+func BenchmarkViewExtractOneShot(b *testing.B) {
 	g := graph.Grid(8, 8)
 	pt := graph.DefaultPorts(g)
 	ids := graph.SequentialIDs(g.N())
@@ -64,22 +84,38 @@ func BenchmarkViewExtract(b *testing.B) {
 }
 
 // BenchmarkViewKey ablates canonical-key construction: identifier-ordered
-// (non-anonymous) vs minimal-serialization (anonymous) canonicalization.
+// (non-anonymous) vs minimal-serialization (anonymous) canonicalization,
+// each measured fresh (Clone drops the key cache) and cached.
 func BenchmarkViewKey(b *testing.B) {
 	g := graph.Grid(5, 5)
 	pt := graph.DefaultPorts(g)
 	ids := graph.SequentialIDs(g.N())
 	labels := make([]string, g.N())
 	mu := view.MustExtract(g, pt, ids, labels, g.N(), 12, 2)
-	anon := mu.Anonymize()
+	anon := view.MustExtract(g, pt, nil, labels, g.N(), 12, 2)
 	b.Run("with-ids", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = mu.Key()
+			_ = mu.Clone().Key()
 		}
 	})
 	b.Run("anonymous-min-search", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = anon.Key()
+			_ = anon.Clone().Key()
+		}
+	})
+	b.Run("with-ids/bin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = mu.Clone().BinKey()
+		}
+	})
+	b.Run("anonymous-min-search/bin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = anon.Clone().BinKey()
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = mu.Key()
 		}
 	})
 }

@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` output into a committed,
+// machine-readable benchmark snapshot (BENCH_<date>.json), and compares two
+// snapshots into a benchstat-style regression note.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_2026-08-06.json
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+//
+// The compare mode exits 0 always (timing in CI is advisory); it prints one
+// line per benchmark with the ns/op and allocs/op ratios so a reviewer can
+// spot regressions at a glance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hidinglcp/internal/benchjson"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	date := flag.String("date", "", "date stamp for the default output name (default today)")
+	compare := flag.Bool("compare", false, "compare two snapshot files instead of parsing bench output")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		old, err := readSnapshot(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readSnapshot(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchjson.WriteComparison(os.Stdout, old, cur); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	d := *date
+	if d == "" {
+		d = time.Now().Format("2006-01-02")
+	}
+	snap, err := benchjson.Parse(string(raw), d)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + d + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}
+
+func readSnapshot(path string) (*benchjson.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s benchjson.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

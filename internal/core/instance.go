@@ -104,11 +104,20 @@ func (l Labeled) ViewOf(v, r int) (*view.View, error) {
 	return view.Extract(l.G, l.Prt, l.IDs, l.Labels, l.NBound, v, r)
 }
 
-// Views extracts the radius-r views of all nodes.
+// Views extracts the radius-r views of all nodes, sharing one extraction
+// scratch across the loop.
 func (l Labeled) Views(r int) ([]*view.View, error) {
+	var ex view.Extractor
+	return l.ViewsWith(&ex, r)
+}
+
+// ViewsWith is Views reusing the caller's Extractor scratch; repeated
+// callers (simulators, sweeps) amortize extraction allocations across
+// instances.
+func (l Labeled) ViewsWith(ex *view.Extractor, r int) ([]*view.View, error) {
 	out := make([]*view.View, l.G.N())
 	for v := 0; v < l.G.N(); v++ {
-		mu, err := l.ViewOf(v, r)
+		mu, err := ex.Extract(l.G, l.Prt, l.IDs, l.Labels, l.NBound, v, r)
 		if err != nil {
 			return nil, fmt.Errorf("node %d: %w", v, err)
 		}

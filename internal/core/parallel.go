@@ -67,6 +67,13 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a sweep: templates and verdict memos are
+			// per-goroutine, so workers never contend on them.
+			sweep, serr := newLabelSweep(d, lang, inst, alphabet)
+			if serr != nil {
+				record(0, fmt.Errorf("extracting views: %w", serr))
+				return
+			}
 			for {
 				s := int(next.Add(1)) - 1
 				if s >= shards {
@@ -80,11 +87,7 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 					if r >= best.Load() {
 						return false
 					}
-					labels := make([]string, n)
-					for v, a := range idx {
-						labels[v] = alphabet[a]
-					}
-					if err := CheckStrongSoundness(d, lang, MustNewLabeled(inst, labels)); err != nil {
+					if err := sweep.check(idx); err != nil {
 						record(r, err)
 						return false
 					}
@@ -137,6 +140,7 @@ func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sweep, serr := newLabelSweep(d, lang, inst, nil)
 			for {
 				t := next.Add(1) - 1
 				// Trials are claimed in increasing order, so once t passes
@@ -144,7 +148,13 @@ func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials
 				if t >= int64(trials) || t >= best.Load() {
 					return
 				}
-				if err := CheckStrongSoundness(d, lang, MustNewLabeled(inst, drawn[t])); err != nil {
+				var err error
+				if serr != nil {
+					err = fmt.Errorf("extracting views: %w", serr)
+				} else {
+					err = sweep.checkLabels(drawn[t])
+				}
+				if err != nil {
 					for {
 						cur := best.Load()
 						if t >= cur {

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hidinglcp/internal/view"
+)
+
+// labelSweep accelerates repeated strong-soundness checks of many labelings
+// of one fixed instance: per-node view templates amortize extraction across
+// labelings (only the per-view label slice is rebuilt), and per-node
+// verdict memos keyed by the node's neighborhood labeling amortize decoder
+// calls. A labelSweep is not safe for concurrent use; the parallel drivers
+// give each worker its own.
+//
+// The sweep reproduces the sequential check exactly: same decoder verdicts
+// (decoders are pure functions of the view), same induced subgraph, same
+// first violation.
+type labelSweep struct {
+	d        Decoder
+	lang     Language
+	inst     Instance
+	alphabet []string
+	tpl      []*view.Template
+	// pows[v][i] is |alphabet|^i for ranking node v's neighborhood labeling
+	// in check; nil when the rank would overflow uint64.
+	pows [][]uint64
+	memo []map[uint64]bool
+	// smemo memoizes checkLabels verdicts by the node's concatenated
+	// (length-prefixed) host labels, for label streams outside the alphabet.
+	smemo  []map[string]bool
+	labels []string
+	acc    []int
+	keyBuf []byte
+	// langMemo memoizes lang.Contains by accepting-set bitmask (instances
+	// with at most 64 nodes): the language verdict is a pure function of
+	// the induced subgraph, which the accepting set determines.
+	langMemo map[uint64]bool
+	useMask  bool
+}
+
+// newLabelSweep extracts one view template per node of inst. The returned
+// error matches the text of the legacy per-labeling extraction error
+// ("node %d: ..."), which only triggers on malformed instances.
+func newLabelSweep(d Decoder, lang Language, inst Instance, alphabet []string) (*labelSweep, error) {
+	n := inst.G.N()
+	s := &labelSweep{
+		d: d, lang: lang, inst: inst, alphabet: alphabet,
+		tpl:    make([]*view.Template, n),
+		pows:   make([][]uint64, n),
+		memo:   make([]map[uint64]bool, n),
+		smemo:  make([]map[string]bool, n),
+		labels:   make([]string, n),
+		acc:      make([]int, 0, n),
+		langMemo: make(map[uint64]bool),
+		useMask:  n <= 64,
+	}
+	ids := inst.IDs
+	if d.Anonymous() {
+		// Anonymous decoders see anonymized views; extracting without
+		// identifiers yields the same views without the per-call clone.
+		ids = nil
+	}
+	var ex view.Extractor
+	r := d.Rounds()
+	a := uint64(len(alphabet))
+	for v := 0; v < n; v++ {
+		t, err := ex.Template(inst.G, inst.Prt, ids, inst.NBound, v, r)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", v, err)
+		}
+		s.tpl[v] = t
+		s.smemo[v] = make(map[string]bool)
+		pows := make([]uint64, t.N())
+		ok := true
+		p := uint64(1)
+		for i := range pows {
+			pows[i] = p
+			if a != 0 && p > math.MaxUint64/a {
+				ok = false
+				break
+			}
+			p *= a
+		}
+		if ok {
+			s.pows[v] = pows
+			s.memo[v] = make(map[uint64]bool)
+		}
+	}
+	return s, nil
+}
+
+// check verifies strong soundness for the labeling alphabet[idx[0]],
+// alphabet[idx[1]], … — the EnumLabelings representation.
+func (s *labelSweep) check(idx []int) error {
+	for v, a := range idx {
+		s.labels[v] = s.alphabet[a]
+	}
+	return s.verify(s.labels, func(v int) bool {
+		t := s.tpl[v]
+		if s.memo[v] == nil {
+			return s.d.Decide(t.Instantiate(s.labels))
+		}
+		rank := uint64(0)
+		for i, w := range t.Hosts() {
+			rank += uint64(idx[w]) * s.pows[v][i]
+		}
+		if out, ok := s.memo[v][rank]; ok {
+			return out
+		}
+		out := s.d.Decide(t.Instantiate(s.labels))
+		s.memo[v][rank] = out
+		return out
+	})
+}
+
+// checkLabels verifies strong soundness for an arbitrary labeling (the fuzz
+// path). len(labels) must equal the instance size.
+func (s *labelSweep) checkLabels(labels []string) error {
+	return s.verify(labels, func(v int) bool {
+		t := s.tpl[v]
+		kb := s.keyBuf[:0]
+		for _, w := range t.Hosts() {
+			kb = binary.AppendUvarint(kb, uint64(len(labels[w])))
+			kb = append(kb, labels[w]...)
+		}
+		s.keyBuf = kb
+		if out, ok := s.smemo[v][string(kb)]; ok {
+			return out
+		}
+		out := s.d.Decide(t.Instantiate(labels))
+		s.smemo[v][string(kb)] = out
+		return out
+	})
+}
+
+func (s *labelSweep) verify(labels []string, decide func(v int) bool) error {
+	acc := s.acc[:0]
+	var mask uint64
+	for v := range s.tpl {
+		if decide(v) {
+			acc = append(acc, v)
+			mask |= 1 << uint(v&63)
+		}
+	}
+	s.acc = acc
+	var ok, hit bool
+	if s.useMask {
+		ok, hit = s.langMemo[mask]
+	}
+	if !hit {
+		sub, _ := s.inst.G.InducedSubgraph(acc)
+		ok = s.lang.Contains(sub)
+		if s.useMask {
+			s.langMemo[mask] = ok
+		}
+	}
+	if !ok {
+		return &StrongSoundnessViolation{
+			Labeled:   MustNewLabeled(s.inst, append([]string(nil), labels...)),
+			Accepting: append([]int(nil), acc...),
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
 )
 
 // E11Impossibility probes Theorems 1.2/6.3 on finite slices. A 0-bit
@@ -217,26 +218,67 @@ type decoderSpace struct {
 	// classVec caches, per instance graph key+ports pointer, the class of
 	// every node. Keyed by position in the corpus at construction.
 	vecs map[*graph.Ports][]int
+	// binKeys memoizes the legacy class key per binary canonical key. The
+	// two keys induce the same partition of views, so one legacy minKey
+	// search per class suffices; repeat views ride the cheaper binary key.
+	// The legacy key stays the class identity because the sorted class
+	// order defines the decoder-mask bit semantics.
+	binKeys map[string]string
+	// bip caches, per port assignment, the bipartiteness of the subgraph
+	// induced by each accepting node bitmask (corpus instances have at
+	// most 64 nodes; the verdict depends only on the accepting set).
+	bip map[*graph.Ports]map[uint64]bool
+}
+
+// classKey returns the legacy class key of a node view, resolving repeat
+// classes through the binary-key memo.
+func (s *decoderSpace) classKey(mu *view.View) string {
+	a := mu.Anonymize()
+	bk := string(a.BinKey())
+	if k, ok := s.binKeys[bk]; ok {
+		return k
+	}
+	k := a.Key()
+	s.binKeys[bk] = k
+	return k
 }
 
 func newDecoderSpace(corpus []core.Instance) (*decoderSpace, error) {
-	s := &decoderSpace{index: map[string]int{}, vecs: map[*graph.Ports][]int{}}
-	for _, inst := range corpus {
-		vec, err := s.classVector(inst)
+	s := &decoderSpace{
+		index:   map[string]int{},
+		vecs:    map[*graph.Ports][]int{},
+		binKeys: map[string]string{},
+		bip:     map[*graph.Ports]map[uint64]bool{},
+	}
+	// Single pass: collect each instance's per-node class keys once, sort
+	// the class universe, then number the cached vectors under the sorted
+	// index — no second extraction sweep over the corpus.
+	keys := make([][]string, len(corpus))
+	for ci, inst := range corpus {
+		l := core.MustNewLabeled(inst, make([]string, inst.G.N()))
+		views, err := l.Views(1)
 		if err != nil {
 			return nil, err
 		}
-		s.vecs[inst.Prt] = vec
+		ks := make([]string, len(views))
+		for v, mu := range views {
+			key := s.classKey(mu)
+			ks[v] = key
+			if _, ok := s.index[key]; !ok {
+				s.index[key] = 0
+				s.classes = append(s.classes, key)
+			}
+		}
+		keys[ci] = ks
 	}
 	sort.Strings(s.classes)
 	for i, c := range s.classes {
 		s.index[c] = i
 	}
-	// Rebuild cached vectors under the sorted index.
-	for _, inst := range corpus {
-		vec, err := s.classVector(inst)
-		if err != nil {
-			return nil, err
+	for ci, inst := range corpus {
+		vec := make([]int, len(keys[ci]))
+		for v, k := range keys[ci] {
+			vec[v] = s.index[k]
 		}
 		s.vecs[inst.Prt] = vec
 	}
@@ -251,7 +293,7 @@ func (s *decoderSpace) classVector(inst core.Instance) ([]int, error) {
 	}
 	vec := make([]int, len(views))
 	for v, mu := range views {
-		key := mu.Anonymize().Key()
+		key := s.classKey(mu)
 		if _, ok := s.index[key]; !ok {
 			s.index[key] = len(s.classes)
 			s.classes = append(s.classes, key)
@@ -266,14 +308,46 @@ func (s *decoderSpace) classVector(inst core.Instance) ([]int, error) {
 func (s *decoderSpace) stronglySound(mask int, corpus []core.Instance) bool {
 	for _, inst := range corpus {
 		vec := s.vecs[inst.Prt]
-		var acc []int
+		if len(vec) > 64 {
+			// No bitmask memo; compute directly.
+			var acc []int
+			for v, c := range vec {
+				if mask&(1<<uint(c)) != 0 {
+					acc = append(acc, v)
+				}
+			}
+			sub, _ := inst.G.InducedSubgraph(acc)
+			if !sub.IsBipartite() {
+				return false
+			}
+			continue
+		}
+		// Many decoder masks induce the same accepting node set on one
+		// instance; memoize the bipartiteness verdict per that set.
+		var am uint64
 		for v, c := range vec {
 			if mask&(1<<uint(c)) != 0 {
-				acc = append(acc, v)
+				am |= 1 << uint(v)
 			}
 		}
-		sub, _ := inst.G.InducedSubgraph(acc)
-		if !sub.IsBipartite() {
+		m := s.bip[inst.Prt]
+		if m == nil {
+			m = make(map[uint64]bool)
+			s.bip[inst.Prt] = m
+		}
+		ok, hit := m[am]
+		if !hit {
+			acc := make([]int, 0, len(vec))
+			for v := range vec {
+				if am&(1<<uint(v)) != 0 {
+					acc = append(acc, v)
+				}
+			}
+			sub, _ := inst.G.InducedSubgraph(acc)
+			ok = sub.IsBipartite()
+			m[am] = ok
+		}
+		if !ok {
 			return false
 		}
 	}

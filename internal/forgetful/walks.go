@@ -176,7 +176,7 @@ func LiftWalk(ng *nbhd.NGraph, views []*view.View, walk []int, anonymous bool) (
 		if anonymous {
 			mu = mu.Anonymize()
 		}
-		idx := ng.IndexOf(mu.Key())
+		idx := ng.IndexOfView(mu)
 		if idx < 0 {
 			return nil, fmt.Errorf("walk node %d's view is not an accepting view", node)
 		}

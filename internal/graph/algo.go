@@ -94,6 +94,27 @@ func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
+	if g.n <= 64 {
+		// Allocation-free reachability with a bitmask visited set; each
+		// node is pushed at most once, so the stack fits in 64 slots.
+		var stack [64]int
+		seen := uint64(1)
+		stack[0] = 0
+		top, count := 1, 1
+		for top > 0 {
+			top--
+			v := stack[top]
+			for _, w := range g.adj[v] {
+				if seen&(1<<uint(w)) == 0 {
+					seen |= 1 << uint(w)
+					count++
+					stack[top] = w
+					top++
+				}
+			}
+		}
+		return count == g.n
+	}
 	dist := g.BFSDistances(0)
 	for _, d := range dist {
 		if d == Unreachable {

@@ -34,8 +34,39 @@ func (g *Graph) TwoColoring() ([]int, bool) {
 
 // IsBipartite reports whether g has no odd cycle.
 func (g *Graph) IsBipartite() bool {
-	_, ok := g.TwoColoring()
-	return ok
+	if g.n > 64 {
+		_, ok := g.TwoColoring()
+		return ok
+	}
+	// Allocation-free 2-coloring over bitmasks: seen marks visited nodes,
+	// col holds their side (bit set = side 1). Each node is enqueued at
+	// most once, so the queue fits in 64 slots.
+	var seen, col uint64
+	var queue [64]int
+	for s := 0; s < g.n; s++ {
+		if seen&(1<<uint(s)) != 0 {
+			continue
+		}
+		seen |= 1 << uint(s)
+		queue[0] = s
+		head, tail := 0, 1
+		for head < tail {
+			v := queue[head]
+			head++
+			cv := (col >> uint(v)) & 1
+			for _, w := range g.adj[v] {
+				if seen&(1<<uint(w)) == 0 {
+					seen |= 1 << uint(w)
+					col |= (1 - cv) << uint(w)
+					queue[tail] = w
+					tail++
+				} else if (col>>uint(w))&1 == cv {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // OddCycle returns the node sequence of some odd cycle in g (first node not

@@ -9,11 +9,36 @@ import "fmt"
 func EnumGraphs(n int, fn func(*Graph) bool) {
 	pairs := allPairs(n)
 	total := 1 << len(pairs)
+	deg := make([]int, n)
 	for mask := 0; mask < total; mask++ {
-		g := New(n)
+		// Build the adjacency lists into one exact-size backing array.
+		// Pairs are lexicographic, so plain appends keep each list sorted —
+		// the same representation AddEdge produces, without its per-edge
+		// reallocation.
+		for v := range deg {
+			deg[v] = 0
+		}
+		m := 0
 		for i, e := range pairs {
 			if mask&(1<<i) != 0 {
-				mustAddEdge(g, e[0], e[1])
+				deg[e[0]]++
+				deg[e[1]]++
+				m++
+			}
+		}
+		g := New(n)
+		backing := make([]int, 2*m)
+		off := 0
+		for v := 0; v < n; v++ {
+			if deg[v] > 0 {
+				g.adj[v] = backing[off:off : off+deg[v]]
+				off += deg[v]
+			}
+		}
+		for i, e := range pairs {
+			if mask&(1<<i) != 0 {
+				g.adj[e[0]] = append(g.adj[e[0]], e[1])
+				g.adj[e[1]] = append(g.adj[e[1]], e[0])
 			}
 		}
 		if !fn(g) {

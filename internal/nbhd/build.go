@@ -1,0 +1,233 @@
+package nbhd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
+)
+
+// appendLenPrefixed appends s with a varint length prefix, making
+// concatenations of several strings unambiguous.
+func appendLenPrefixed(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// builder is one goroutine's accumulator for the Lemma 3.1 construction,
+// running on the canonical-key fast path: views are deduplicated through a
+// shared view.Interner into dense handles, the accepting and loop sets are
+// handle-indexed bool slices instead of map[string] tables, decoder calls
+// go through a shared core.MemoDecoder (one inner Decide per view class
+// across all workers), and per-instance view extraction reuses templates
+// whenever the enumerator varies only the labeling of a fixed instance —
+// the AllLabelings/ShardedAllLabelings hot case.
+//
+// The interner and memo are shared across builders; everything else is
+// private to one goroutine.
+type builder struct {
+	md    *core.MemoDecoder
+	in    *view.Interner
+	where string
+	ex    view.Extractor
+	anon  bool
+	r     int
+
+	accepting []bool
+	loops     []bool
+	edges     map[[2]view.Handle]bool
+	handles   []view.Handle
+
+	// Single-entry template cache, keyed on the identity of the instance's
+	// label-independent parts.
+	tG      *graph.Graph
+	tPrt    *graph.Ports
+	tNBound int
+	tIDs    *int
+	tpl     []*view.Template
+	tEdges  [][2]int
+	// tMemo[v] maps node v's host-labels key to the interned handle of its
+	// view, so repeat neighborhood labelings of a cached instance skip
+	// instantiation, canonicalization, and interning entirely.
+	tMemo  []map[string]view.Handle
+	keyBuf []byte
+}
+
+func newBuilder(d core.Decoder, md *core.MemoDecoder, in *view.Interner, where string) *builder {
+	return &builder{
+		md:    md,
+		in:    in,
+		where: where,
+		anon:  d.Anonymous(),
+		r:     d.Rounds(),
+		edges: make(map[[2]view.Handle]bool),
+	}
+}
+
+func (b *builder) grow(n int) {
+	if n > len(b.accepting) {
+		b.accepting = append(b.accepting, make([]bool, n-len(b.accepting))...)
+		b.loops = append(b.loops, make([]bool, n-len(b.loops))...)
+	}
+}
+
+// absorb folds one labeled instance into the builder.
+func (b *builder) absorb(l core.Labeled) {
+	ids := l.IDs
+	if b.anon {
+		// Anonymous decoders are keyed and decided on anonymized views;
+		// extracting without identifiers produces them directly, without
+		// the legacy per-view Anonymize clone.
+		ids = nil
+	}
+	var idsHead *int
+	if len(ids) > 0 {
+		idsHead = &ids[0]
+	}
+	if b.tpl == nil || b.tG != l.G || b.tPrt != l.Prt || b.tNBound != l.NBound || b.tIDs != idsHead {
+		n := l.G.N()
+		b.tpl = b.tpl[:0]
+		for v := 0; v < n; v++ {
+			t, err := b.ex.Template(l.G, l.Prt, ids, l.NBound, v, b.r)
+			if err != nil {
+				// Enumerators produce valid instances by construction.
+				panic(fmt.Sprintf("%s: invalid instance from enumerator: %v", b.where, fmt.Errorf("node %d: %w", v, err)))
+			}
+			b.tpl = append(b.tpl, t)
+		}
+		b.tEdges = l.G.Edges()
+		b.tG, b.tPrt, b.tNBound, b.tIDs = l.G, l.Prt, l.NBound, idsHead
+		b.tMemo = make([]map[string]view.Handle, n)
+		for v := range b.tMemo {
+			b.tMemo[v] = make(map[string]view.Handle)
+		}
+	}
+
+	handles := b.handles[:0]
+	for v := range b.tpl {
+		t := b.tpl[v]
+		kb := b.keyBuf[:0]
+		for _, w := range t.Hosts() {
+			kb = appendLenPrefixed(kb, l.Labels[w])
+		}
+		b.keyBuf = kb
+		if h, ok := b.tMemo[v][string(kb)]; ok {
+			// The identical (template, neighborhood labels) pair was already
+			// interned and decided by this builder.
+			handles = append(handles, h)
+			continue
+		}
+		mu := t.Instantiate(l.Labels)
+		h := b.in.Intern(mu)
+		b.tMemo[v][string(kb)] = h
+		handles = append(handles, h)
+		b.grow(int(h) + 1)
+		if !b.accepting[h] && b.md.DecideInterned(h, mu) {
+			b.accepting[h] = true
+		}
+	}
+	b.handles = handles
+
+	for _, e := range b.tEdges {
+		ha, hb := handles[e[0]], handles[e[1]]
+		if ha == hb {
+			b.loops[ha] = true
+			continue
+		}
+		if ha > hb {
+			ha, hb = hb, ha
+		}
+		b.edges[[2]view.Handle{ha, hb}] = true
+	}
+}
+
+// mergeBuilders unions the per-worker accepting/loop sets and edge maps.
+// Handles are global (one shared interner), so the union is positional.
+func mergeBuilders(parts []*builder) (accepting, loops []bool, edges map[[2]view.Handle]bool) {
+	maxLen, total := 0, 0
+	for _, p := range parts {
+		if len(p.accepting) > maxLen {
+			maxLen = len(p.accepting)
+		}
+		total += len(p.edges)
+	}
+	accepting = make([]bool, maxLen)
+	loops = make([]bool, maxLen)
+	edges = make(map[[2]view.Handle]bool, total)
+	for _, p := range parts {
+		for h, a := range p.accepting {
+			if a {
+				accepting[h] = true
+			}
+		}
+		for h, lo := range p.loops {
+			if lo {
+				loops[h] = true
+			}
+		}
+		for e := range p.edges {
+			edges[e] = true
+		}
+	}
+	return accepting, loops, edges
+}
+
+// assemble keeps only accepting views and builds the NGraph in the
+// deterministic canonical (legacy string) key-sorted node order — handle
+// values depend on intern order and never leak into the output, so the
+// result is bit-identical to the historical string-keyed construction.
+func assemble(in *view.Interner, accepting, loops []bool, edges map[[2]view.Handle]bool) (*NGraph, error) {
+	type node struct {
+		h   view.Handle
+		key string
+	}
+	nodes := make([]node, 0, len(accepting))
+	for h, a := range accepting {
+		if a {
+			hh := view.Handle(h)
+			nodes = append(nodes, node{hh, in.ViewOf(hh).Key()})
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].key < nodes[j].key })
+
+	ng := &NGraph{
+		views: make([]*view.View, len(nodes)),
+		index: make(map[string]int, len(nodes)),
+		bin:   make(map[string]int, len(nodes)),
+		loops: make(map[int]bool),
+	}
+	idx := make([]int, in.Len())
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i, nd := range nodes {
+		rep := in.ViewOf(nd.h)
+		ng.views[i] = rep
+		ng.index[nd.key] = i
+		ng.bin[string(rep.BinKey())] = i
+		idx[nd.h] = i
+	}
+	ng.g = graph.New(len(nodes))
+	for e := range edges {
+		ia, ib := idx[e[0]], idx[e[1]]
+		if ia < 0 || ib < 0 {
+			continue // an endpoint never accepts anywhere
+		}
+		if !ng.g.HasEdge(ia, ib) {
+			if err := ng.g.AddEdge(ia, ib); err != nil {
+				return nil, fmt.Errorf("adding compatibility edge: %w", err)
+			}
+		}
+	}
+	for h, lo := range loops {
+		if lo {
+			if i := idx[h]; i >= 0 {
+				ng.loops[i] = true
+			}
+		}
+	}
+	return ng, nil
+}

@@ -36,7 +36,7 @@ func (e *Extractor) Color(mu *view.View) (int, error) {
 	if e.anonymous {
 		mu = mu.Anonymize()
 	}
-	i := e.ng.IndexOf(mu.Key())
+	i := e.ng.IndexOfView(mu)
 	if i < 0 {
 		return 0, fmt.Errorf("view not in the accepting neighborhood graph")
 	}
@@ -96,7 +96,9 @@ func MinExtractionConflicts(d core.Decoder, l core.Labeled, k int) (ConflictRepo
 		if d.Anonymous() {
 			mu = mu.Anonymize()
 		}
-		key := mu.Key()
+		// Binary keys partition views exactly as the legacy string keys, so
+		// the class numbering (first-occurrence order) is unchanged.
+		key := string(mu.BinKey())
 		if _, ok := index[key]; !ok {
 			index[key] = len(index)
 		}

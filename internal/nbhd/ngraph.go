@@ -21,7 +21,6 @@ package nbhd
 
 import (
 	"fmt"
-	"sort"
 
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/graph"
@@ -36,6 +35,7 @@ type Enumerator func(yield func(core.Labeled) bool) error
 type NGraph struct {
 	views []*view.View   // views[i] is a representative of node i
 	index map[string]int // canonical view key -> node index
+	bin   map[string]int // binary canonical key (string-cast) -> node index
 	g     *graph.Graph   // loop-free compatibility edges
 	loops map[int]bool   // views adjacent to themselves in some yes-instance
 }
@@ -43,88 +43,23 @@ type NGraph struct {
 // Build runs the Lemma 3.1 construction over the instances produced by
 // enum, using decoder d to determine acceptance. Views are anonymized before
 // keying iff d is anonymous.
+//
+// Internally Build runs on the canonical-key fast path (binary interned
+// keys, handle-indexed dedupe tables, memoized decoder, template-cached
+// extraction — see builder); the output is bit-identical to the historical
+// string-keyed construction, with nodes in canonical key-sorted order.
 func Build(d core.Decoder, enum Enumerator) (*NGraph, error) {
-	type pending struct{ a, b string }
-	seen := make(map[string]*view.View) // all views, accepting or not
-	accepting := make(map[string]bool)
-	var edges []pending
-	loopKeys := make(map[string]bool)
-	edgeSeen := make(map[pending]bool)
-
+	in := view.NewInterner()
+	md := core.NewMemoDecoder(d, in)
+	b := newBuilder(d, md, in, "nbhd.Build")
 	err := enum(func(l core.Labeled) bool {
-		views, err := l.Views(d.Rounds())
-		if err != nil {
-			// Enumerators produce valid instances by construction.
-			panic(fmt.Sprintf("nbhd.Build: invalid instance from enumerator: %v", err))
-		}
-		keys := make([]string, len(views))
-		for v, mu := range views {
-			if d.Anonymous() {
-				mu = mu.Anonymize()
-			}
-			k := mu.Key()
-			keys[v] = k
-			if _, ok := seen[k]; !ok {
-				seen[k] = mu
-			}
-			if !accepting[k] && d.Decide(mu) {
-				accepting[k] = true
-			}
-		}
-		for _, e := range l.G.Edges() {
-			ka, kb := keys[e[0]], keys[e[1]]
-			if ka == kb {
-				loopKeys[ka] = true
-				continue
-			}
-			if ka > kb {
-				ka, kb = kb, ka
-			}
-			p := pending{ka, kb}
-			if !edgeSeen[p] {
-				edgeSeen[p] = true
-				edges = append(edges, p)
-			}
-		}
+		b.absorb(l)
 		return true
 	})
 	if err != nil {
 		return nil, fmt.Errorf("enumerating instances: %w", err)
 	}
-
-	// Keep only accepting views, in deterministic (key-sorted) order.
-	var keys []string
-	for k := range accepting {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ng := &NGraph{
-		index: make(map[string]int, len(keys)),
-		loops: make(map[int]bool),
-	}
-	for i, k := range keys {
-		ng.index[k] = i
-		ng.views = append(ng.views, seen[k])
-	}
-	ng.g = graph.New(len(keys))
-	for _, e := range edges {
-		ia, oka := ng.index[e.a]
-		ib, okb := ng.index[e.b]
-		if !oka || !okb {
-			continue // an endpoint never accepts anywhere
-		}
-		if !ng.g.HasEdge(ia, ib) {
-			if err := ng.g.AddEdge(ia, ib); err != nil {
-				return nil, fmt.Errorf("adding compatibility edge: %w", err)
-			}
-		}
-	}
-	for k := range loopKeys {
-		if i, ok := ng.index[k]; ok {
-			ng.loops[i] = true
-		}
-	}
-	return ng, nil
+	return assemble(in, b.accepting, b.loops, b.edges)
 }
 
 // Size returns the number of accepting views (nodes of V(D, n)).
@@ -143,6 +78,18 @@ func (ng *NGraph) ViewAt(i int) *view.View { return ng.views[i] }
 // or -1 if the view is not an accepting view of the slice.
 func (ng *NGraph) IndexOf(key string) int {
 	if i, ok := ng.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// IndexOfView returns the node index of mu's view class, or -1 if mu is not
+// an accepting view of the slice. It probes by binary canonical key, which
+// partitions views exactly as the legacy string key but is far cheaper to
+// compute; callers on the hot path (the Lemma 3.2 extraction decoder, the
+// forgetfulness walks) use it instead of IndexOf(mu.Key()).
+func (ng *NGraph) IndexOfView(mu *view.View) int {
+	if i, ok := ng.bin[string(mu.BinKey())]; ok {
 		return i
 	}
 	return -1

@@ -2,91 +2,45 @@ package nbhd
 
 import (
 	"fmt"
-	"sort"
 
 	"hidinglcp/internal/core"
-	"hidinglcp/internal/graph"
 	"hidinglcp/internal/view"
 )
 
-// partial is one worker's private accumulator for the Lemma 3.1
-// construction. Partials merge through order-insensitive set union, so the
-// final NGraph does not depend on which worker processed which shard.
-type partial struct {
-	seen      map[string]*view.View
-	accepting map[string]bool
-	edges     map[[2]string]bool
-	loops     map[string]bool
-}
-
-func newPartial() partial {
-	return partial{
-		seen:      map[string]*view.View{},
-		accepting: map[string]bool{},
-		edges:     map[[2]string]bool{},
-		loops:     map[string]bool{},
-	}
-}
-
-// absorb folds one labeled instance into the partial.
-func (p *partial) absorb(d core.Decoder, l core.Labeled) {
-	views, err := l.Views(d.Rounds())
-	if err != nil {
-		panic(fmt.Sprintf("nbhd.BuildSharded: invalid instance from enumerator: %v", err))
-	}
-	keys := make([]string, len(views))
-	for v, mu := range views {
-		if d.Anonymous() {
-			mu = mu.Anonymize()
-		}
-		k := mu.Key()
-		keys[v] = k
-		if _, ok := p.seen[k]; !ok {
-			p.seen[k] = mu
-		}
-		if !p.accepting[k] && d.Decide(mu) {
-			p.accepting[k] = true
-		}
-	}
-	for _, e := range l.G.Edges() {
-		ka, kb := keys[e[0]], keys[e[1]]
-		if ka == kb {
-			p.loops[ka] = true
-			continue
-		}
-		if ka > kb {
-			ka, kb = kb, ka
-		}
-		p.edges[[2]string{ka, kb}] = true
-	}
-}
-
 // BuildSharded is Build driven by a sharded enumerator: the instance space
 // splits into `shards` disjoint sub-enumerators claimed work-stealing-style
-// by `workers` goroutines, each accumulating a private partial result; the
-// partials merge deterministically (set union, then canonical key-sorted
-// node order) into the same NGraph Build produces. There is no producer
-// goroutine and no channel on the hot path — each worker enumerates its own
-// shards — which is what lets the construction scale past the
-// single-producer bound measured in DESIGN.md Section 4.
+// by `workers` goroutines, each accumulating a private builder; the
+// builders merge deterministically (set union over shared interner handles,
+// then canonical key-sorted node order) into the same NGraph Build
+// produces. There is no producer goroutine and no channel on the hot path —
+// each worker enumerates its own shards — which is what lets the
+// construction scale past the single-producer bound measured in DESIGN.md
+// Section 4.
+//
+// All workers share one view.Interner and one core.MemoDecoder, so a view
+// class enumerated by several shards is canonicalized into one handle and
+// pays for exactly one decoder invocation across the whole build.
 //
 // shards <= 0 selects 4 per worker; workers <= 0 selects GOMAXPROCS. The
 // output is bit-identical to Build's for every shard/worker count
 // (property-tested in shard_test.go).
 func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
 	shards, workers = resolveShardsWorkers(shards, workers)
-	parts := make([]partial, workers)
+	in := view.NewInterner()
+	md := core.NewMemoDecoder(d, in)
+	parts := make([]*builder, workers)
 	for w := range parts {
-		parts[w] = newPartial()
+		parts[w] = newBuilder(d, md, in, "nbhd.BuildSharded")
 	}
 	err := ForEachShard(se, shards, workers, func(w int, l core.Labeled) bool {
-		parts[w].absorb(d, l)
+		parts[w].absorb(l)
 		return true
 	})
 	if err != nil {
 		return nil, fmt.Errorf("enumerating instances: %w", err)
 	}
-	return mergePartials(parts)
+	accepting, loops, edges := mergeBuilders(parts)
+	return assemble(in, accepting, loops, edges)
 }
 
 // BuildParallel is BuildSharded with the default shard count. It replaces
@@ -94,62 +48,4 @@ func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*N
 // instance bounded throughput (DESIGN.md Section 4).
 func BuildParallel(d core.Decoder, se ShardedEnumerator, workers int) (*NGraph, error) {
 	return BuildSharded(d, se, 0, workers)
-}
-
-// mergePartials unions the worker partials and assembles the NGraph in the
-// canonical key-sorted order Build uses.
-func mergePartials(parts []partial) (*NGraph, error) {
-	seen := map[string]*view.View{}
-	accepting := map[string]bool{}
-	edges := map[[2]string]bool{}
-	loops := map[string]bool{}
-	for _, p := range parts {
-		for k, mu := range p.seen {
-			if _, ok := seen[k]; !ok {
-				seen[k] = mu
-			}
-		}
-		for k := range p.accepting {
-			accepting[k] = true
-		}
-		for e := range p.edges {
-			edges[e] = true
-		}
-		for k := range p.loops {
-			loops[k] = true
-		}
-	}
-
-	var keys []string
-	for k := range accepting {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ng := &NGraph{
-		index: make(map[string]int, len(keys)),
-		loops: make(map[int]bool),
-	}
-	for i, k := range keys {
-		ng.index[k] = i
-		ng.views = append(ng.views, seen[k])
-	}
-	ng.g = graph.New(len(keys))
-	for e := range edges {
-		ia, oka := ng.index[e[0]]
-		ib, okb := ng.index[e[1]]
-		if !oka || !okb {
-			continue // an endpoint never accepts anywhere
-		}
-		if !ng.g.HasEdge(ia, ib) {
-			if err := ng.g.AddEdge(ia, ib); err != nil {
-				return nil, fmt.Errorf("adding compatibility edge: %w", err)
-			}
-		}
-	}
-	for k := range loops {
-		if i, ok := ng.index[k]; ok {
-			ng.loops[i] = true
-		}
-	}
-	return ng, nil
 }

@@ -1,0 +1,290 @@
+package view
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"strings"
+)
+
+// BinKey returns a compact binary canonical key: two views have the same
+// binary key iff they are equal as views, exactly as with Key (the
+// partition equality is enforced by differential and fuzz tests). The
+// encoding is an append-to-[]byte varint serialization — no fmt, no string
+// joins — minimized over the same kind of class-respecting node orderings
+// as Key, with the Weisfeiler-Leman-style refinement run over integer color
+// arrays instead of string signatures.
+//
+// The key is computed once and cached. The returned slice is shared; the
+// caller must not modify it.
+func (v *View) BinKey() []byte {
+	v.cacheMu.Lock()
+	k := v.cachedBin
+	if k == nil {
+		k = v.computeBinKey()
+		v.cachedBin = k
+	}
+	v.cacheMu.Unlock()
+	return k
+}
+
+func (v *View) computeBinKey() []byte {
+	if order, ok := v.idOrder(); ok {
+		return v.appendBinSerialize(nil, order, make([]int, v.N()))
+	}
+	return v.minBinKey()
+}
+
+// appendBinSerialize renders the view under the given node ordering into
+// dst: a varint header (radius, n, NBound), per node (dist, id,
+// length-prefixed label), then every visible edge as (ka, kb, port a→b,
+// port b→a) for positions ka < kb in increasing (ka, kb) order. Every field
+// is self-delimiting, so the encoding determines the ordered view — equal
+// bytes mean equal views under the chosen orderings.
+func (v *View) appendBinSerialize(dst []byte, order, pos []int) []byte {
+	n := v.N()
+	if dst == nil {
+		dst = make([]byte, 0, 16+8*n)
+	}
+	dst = binary.AppendUvarint(dst, uint64(v.Radius))
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = binary.AppendUvarint(dst, uint64(v.NBound))
+	for _, i := range order {
+		dst = binary.AppendUvarint(dst, uint64(v.Dist[i]))
+		dst = binary.AppendVarint(dst, int64(v.IDs[i]))
+		dst = binary.AppendUvarint(dst, uint64(len(v.Labels[i])))
+		dst = append(dst, v.Labels[i]...)
+	}
+	for k, i := range order {
+		pos[i] = k
+	}
+	var nbArr [16]int
+	nb := nbArr[:0]
+	for ka := 0; ka < n; ka++ {
+		a := order[ka]
+		nb = nb[:0]
+		for _, w := range v.Adj[a] {
+			if kb := pos[w]; kb > ka {
+				nb = append(nb, kb)
+			}
+		}
+		insertionSortInts(nb)
+		for _, kb := range nb {
+			b := order[kb]
+			dst = binary.AppendUvarint(dst, uint64(ka))
+			dst = binary.AppendUvarint(dst, uint64(kb))
+			dst = binary.AppendUvarint(dst, uint64(v.Ports[[2]int{a, b}]))
+			dst = binary.AppendUvarint(dst, uint64(v.Ports[[2]int{b, a}]))
+		}
+	}
+	return dst
+}
+
+// minBinKey is minKey over the binary serialization: the byte-wise minimum
+// over all orderings that put the center first and otherwise permute nodes
+// only within refined invariant classes. Minimizing any injective
+// serialization over an isomorphism-invariant set of orderings is
+// canonical, so minBinKey and minKey induce the same view partition even
+// though the byte strings differ.
+func (v *View) minBinKey() []byte {
+	classes := v.refinedClassesInt()
+	pos := make([]int, v.N())
+	order := make([]int, 0, v.N())
+	multi := false
+	for _, c := range classes {
+		if len(c) > 1 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		// Discrete refinement: the ordering is forced, no search needed.
+		for _, c := range classes {
+			order = append(order, c...)
+		}
+		return v.appendBinSerialize(nil, order, pos)
+	}
+	var best, cand []byte
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(classes) {
+			cand = v.appendBinSerialize(cand[:0], order, pos)
+			if best == nil || bytes.Compare(cand, best) < 0 {
+				best = append(best[:0], cand...)
+			}
+			return
+		}
+		permute(classes[ci], func(perm []int) {
+			order = append(order, perm...)
+			rec(ci + 1)
+			order = order[:len(order)-len(perm)]
+		})
+	}
+	rec(0)
+	return best
+}
+
+// refinedClassesInt is the integer-color counterpart of refinedClasses:
+// nodes start colored by the rank of their invariant tuple (distance,
+// label, degree, identifier) and are iteratively refined by the multiset of
+// (port out, port back, neighbor color) arms, all over int arrays — no
+// string signatures. The resulting partition is isomorphism-invariant, as
+// is the class order (by color rank, center always first on its own), which
+// is all minBinKey needs for canonicity.
+func (v *View) refinedClassesInt() [][]int {
+	n := v.N()
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	initCmp := func(a, b int) int {
+		if v.Dist[a] != v.Dist[b] {
+			if v.Dist[a] < v.Dist[b] {
+				return -1
+			}
+			return 1
+		}
+		if c := strings.Compare(v.Labels[a], v.Labels[b]); c != 0 {
+			return c
+		}
+		if da, db := len(v.Adj[a]), len(v.Adj[b]); da != db {
+			if da < db {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case v.IDs[a] < v.IDs[b]:
+			return -1
+		case v.IDs[a] > v.IDs[b]:
+			return 1
+		}
+		return 0
+	}
+	sort.Slice(ord, func(x, y int) bool { return initCmp(ord[x], ord[y]) < 0 })
+	color := make([]int, n)
+	colors := 1
+	for k := 1; k < n; k++ {
+		if initCmp(ord[k-1], ord[k]) != 0 {
+			colors++
+		}
+		color[ord[k]] = colors - 1
+	}
+
+	if colors < n {
+		// Flat arm storage: armStart[i]..armStart[i+1] are node i's arms.
+		// Ports never change across rounds, so they are gathered once.
+		armStart := make([]int, n+1)
+		for i := 0; i < n; i++ {
+			armStart[i+1] = armStart[i] + len(v.Adj[i])
+		}
+		m := armStart[n]
+		armNbr := make([]int, m)
+		armPorts := make([][2]int, m)
+		arms := make([][3]int, m)
+		for i := 0; i < n; i++ {
+			for k, w := range v.Adj[i] {
+				j := armStart[i] + k
+				armNbr[j] = w
+				armPorts[j] = [2]int{v.Ports[[2]int{i, w}], v.Ports[[2]int{w, i}]}
+			}
+		}
+		next := make([]int, n)
+		armCmp := func(a, b int) int {
+			if color[a] != color[b] {
+				if color[a] < color[b] {
+					return -1
+				}
+				return 1
+			}
+			// Equal colors imply equal degrees (degree is part of the
+			// round-0 tuple), so the arm segments have equal length.
+			sa := arms[armStart[a]:armStart[a+1]]
+			sb := arms[armStart[b]:armStart[b+1]]
+			for k := range sa {
+				for c := 0; c < 3; c++ {
+					if sa[k][c] != sb[k][c] {
+						if sa[k][c] < sb[k][c] {
+							return -1
+						}
+						return 1
+					}
+				}
+			}
+			return 0
+		}
+		for round := 0; round < n && colors < n; round++ {
+			// Re-gather arms from the pristine port table each round:
+			// sortArms permutes the segment, so ports and neighbor colors
+			// must be re-paired before refilling.
+			for j := 0; j < m; j++ {
+				arms[j] = [3]int{armPorts[j][0], armPorts[j][1], color[armNbr[j]]}
+			}
+			for i := 0; i < n; i++ {
+				sortArms(arms[armStart[i]:armStart[i+1]])
+			}
+			sort.Slice(ord, func(x, y int) bool { return armCmp(ord[x], ord[y]) < 0 })
+			nc := 1
+			next[ord[0]] = 0
+			for k := 1; k < n; k++ {
+				if armCmp(ord[k-1], ord[k]) != 0 {
+					nc++
+				}
+				next[ord[k]] = nc - 1
+			}
+			same := true
+			for i := 0; i < n; i++ {
+				if next[i] != color[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				break
+			}
+			copy(color, next)
+			colors = nc
+		}
+	}
+
+	// Center first on its own, then non-center nodes grouped by final color
+	// in increasing order, increasing node index within a class.
+	rest := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		rest = append(rest, i)
+	}
+	sort.Slice(rest, func(x, y int) bool {
+		a, b := rest[x], rest[y]
+		if color[a] != color[b] {
+			return color[a] < color[b]
+		}
+		return a < b
+	})
+	classes := [][]int{{Center}}
+	for lo := 0; lo < len(rest); {
+		hi := lo + 1
+		for hi < len(rest) && color[rest[hi]] == color[rest[lo]] {
+			hi++
+		}
+		classes = append(classes, rest[lo:hi:hi])
+		lo = hi
+	}
+	return classes
+}
+
+func sortArms(s [][3]int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && armLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func armLess(a, b [3]int) bool {
+	for c := 0; c < 3; c++ {
+		if a[c] != b[c] {
+			return a[c] < b[c]
+		}
+	}
+	return false
+}

@@ -1,0 +1,370 @@
+package view_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hidinglcp/internal/graph"
+	"hidinglcp/internal/view"
+)
+
+// partitionChecker verifies, view by view, that the legacy string key and
+// the binary key induce exactly the same equivalence classes: each legacy
+// key maps to one binary key and vice versa, and Equal agrees with both.
+type partitionChecker struct {
+	t     *testing.T
+	byKey map[string]string // legacy key -> binary key
+	byBin map[string]string // binary key -> legacy key
+	rep   map[string]*view.View
+	other *view.View
+}
+
+func newPartitionChecker(t *testing.T) *partitionChecker {
+	return &partitionChecker{
+		t:     t,
+		byKey: map[string]string{},
+		byBin: map[string]string{},
+		rep:   map[string]*view.View{},
+	}
+}
+
+func (pc *partitionChecker) add(mu *view.View) {
+	pc.t.Helper()
+	k := mu.Key()
+	b := string(mu.BinKey())
+	if prev, ok := pc.byKey[k]; ok && prev != b {
+		pc.t.Fatalf("legacy key maps to two binary keys:\nkey %q\nbin %x\nbin %x", k, prev, b)
+	}
+	pc.byKey[k] = b
+	if prev, ok := pc.byBin[b]; ok && prev != k {
+		pc.t.Fatalf("binary key maps to two legacy keys:\nbin %x\nkey %q\nkey %q", b, prev, k)
+	}
+	pc.byBin[b] = k
+	if rep, ok := pc.rep[b]; ok {
+		if !rep.Equal(mu) {
+			pc.t.Fatalf("Equal is false inside one key class %q", k)
+		}
+	} else {
+		pc.rep[b] = mu
+	}
+	if pc.other != nil && string(pc.other.BinKey()) != b {
+		if pc.other.Equal(mu) {
+			pc.t.Fatalf("Equal is true across distinct key classes %q vs %q", pc.other.Key(), k)
+		}
+	}
+	pc.other = mu
+}
+
+func (pc *partitionChecker) classes() int { return len(pc.byBin) }
+
+// TestBinKeyPartitionConnectedGraphs sweeps every connected graph on up to
+// 4 nodes under every 2-letter labeling, with sequential identifiers and
+// anonymously, at radii 1 and 2, and checks that binary and legacy keys
+// partition the views identically.
+func TestBinKeyPartitionConnectedGraphs(t *testing.T) {
+	pc := newPartitionChecker(t)
+	alphabet := []string{"a", "b"}
+	for n := 2; n <= 4; n++ {
+		graph.EnumConnectedGraphs(n, func(g *graph.Graph) bool {
+			gg := g.Clone()
+			pt := graph.DefaultPorts(gg)
+			ids := graph.SequentialIDs(n)
+			graph.EnumLabelings(n, len(alphabet), func(idx []int) bool {
+				labels := make([]string, n)
+				for v, a := range idx {
+					labels[v] = alphabet[a]
+				}
+				for r := 1; r <= 2; r++ {
+					for v := 0; v < n; v++ {
+						pc.add(view.MustExtract(gg, pt, ids, labels, n, v, r))
+						pc.add(view.MustExtract(gg, pt, nil, labels, n, v, r))
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	if pc.classes() < 50 {
+		t.Fatalf("suspiciously few classes: %d", pc.classes())
+	}
+}
+
+// TestBinKeyPartitionPortsAndDuplicateIDs varies the parts the connected
+// sweep keeps fixed: every port assignment of C4, duplicated and zero-mixed
+// identifier assignments, and two NBound values.
+func TestBinKeyPartitionPortsAndDuplicateIDs(t *testing.T) {
+	pc := newPartitionChecker(t)
+	g := graph.MustCycle(4)
+	labels := []string{"x", "y", "x", "z"}
+	graph.EnumPorts(g, func(pt *graph.Ports) bool {
+		for v := 0; v < g.N(); v++ {
+			pc.add(view.MustExtract(g, pt, nil, labels, g.N(), v, 1))
+		}
+		return true
+	})
+	pt := graph.DefaultPorts(g)
+	idCases := []graph.IDs{
+		{7, 7, 3, 5},  // duplicate nonzero: disables the idOrder fast path
+		{0, 1, 2, 3},  // zero mixed in
+		{9, 8, 7, 6},  // descending
+		{1, 2, 3, 4},  // ascending
+	}
+	for _, ids := range idCases {
+		for nb := 4; nb <= 5; nb++ {
+			for r := 1; r <= 2; r++ {
+				for v := 0; v < g.N(); v++ {
+					pc.add(view.MustExtract(g, pt, ids, labels, nb, v, r))
+				}
+			}
+		}
+	}
+}
+
+// TestBinKeyCanonicalUnderRelabeling checks canonicity directly: the same
+// anonymous structure presented under permuted host-node numbering must
+// produce identical binary keys (the property the min-search guarantees).
+func TestBinKeyCanonicalUnderRelabeling(t *testing.T) {
+	// C5 labeled twice with rotated node numbering.
+	a := graph.MustCycle(5)
+	labels := []string{"p", "q", "p", "q", "r"}
+	muA := view.MustExtract(a, graph.DefaultPorts(a), nil, labels, 5, 0, 2)
+
+	b := graph.New(5)
+	// Same cycle with nodes renumbered v -> (v+2) mod 5.
+	perm := func(v int) int { return (v + 2) % 5 }
+	for v := 0; v < 5; v++ {
+		w := (v + 1) % 5
+		if !b.HasEdge(perm(v), perm(w)) {
+			if err := b.AddEdge(perm(v), perm(w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	labelsB := make([]string, 5)
+	for v := 0; v < 5; v++ {
+		labelsB[perm(v)] = labels[v]
+	}
+	muB := view.MustExtract(b, graph.DefaultPorts(b), nil, labelsB, 5, perm(0), 2)
+
+	// Ports may differ between the two presentations (DefaultPorts follows
+	// adjacency order), so only structural equality up to ports is forced;
+	// with ports equalized via EnumPorts, some assignment must match.
+	found := false
+	graph.EnumPorts(b, func(pt *graph.Ports) bool {
+		mu := view.MustExtract(b, pt, nil, labelsB, 5, perm(0), 2)
+		if bytes.Equal(mu.BinKey(), muA.BinKey()) {
+			if mu.Key() != muA.Key() {
+				t.Fatal("binary keys match but legacy keys differ")
+			}
+			found = true
+			return false
+		}
+		if mu.Key() == muA.Key() {
+			t.Fatal("legacy keys match but binary keys differ")
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("no port assignment reproduces the rotated view")
+	}
+	_ = muB
+}
+
+// TestKeyCacheCloneSafety is the satellite mutation test: keys are cached on
+// first computation, and the cache must never leak into clones or
+// anonymized copies, nor go stale on the original.
+func TestKeyCacheCloneSafety(t *testing.T) {
+	g := graph.Grid(3, 3)
+	pt := graph.DefaultPorts(g)
+	ids := graph.SequentialIDs(g.N())
+	labels := make([]string, g.N())
+	for i := range labels {
+		labels[i] = fmt.Sprintf("l%d", i%3)
+	}
+	mu := view.MustExtract(g, pt, ids, labels, g.N(), 4, 2)
+
+	k1 := mu.Key()
+	b1 := append([]byte(nil), mu.BinKey()...)
+	if mu.Key() != k1 || !bytes.Equal(mu.BinKey(), b1) {
+		t.Fatal("cached keys are not stable")
+	}
+
+	// A clone mutated before keying must compute its own keys...
+	c := mu.Clone()
+	c.Labels[0] = "mutated"
+	if c.Key() == k1 {
+		t.Fatal("legacy key cache leaked into a mutated clone")
+	}
+	if bytes.Equal(c.BinKey(), b1) {
+		t.Fatal("binary key cache leaked into a mutated clone")
+	}
+	// ...and the original's cache must survive the clone's life unchanged.
+	if mu.Key() != k1 || !bytes.Equal(mu.BinKey(), b1) {
+		t.Fatal("original keys changed after mutating a clone")
+	}
+
+	// An unmutated clone agrees with the original without sharing the cache.
+	c2 := mu.Clone()
+	if c2.Key() != k1 || !bytes.Equal(c2.BinKey(), b1) {
+		t.Fatal("unmutated clone disagrees with original")
+	}
+
+	// Anonymize drops identifiers, so its keys must differ from the cached
+	// identified ones, and the original cache must again be untouched.
+	a := mu.Anonymize()
+	if a.Key() == k1 || bytes.Equal(a.BinKey(), b1) {
+		t.Fatal("anonymized view reused the identified key cache")
+	}
+	if mu.Key() != k1 {
+		t.Fatal("original key changed after Anonymize")
+	}
+
+	// An already-anonymous view returns itself from Anonymize; the shared
+	// cache is then genuinely the same view's cache, which is sound.
+	if a.Anonymize() != a {
+		t.Fatal("anonymous view should Anonymize to itself")
+	}
+}
+
+// TestIDOrderSortCutoff exercises both sides of the idOrder crossover (the
+// insertion sort below the cutoff, sort.Slice above): keys must stay
+// canonical under host renumbering at both sizes.
+func TestIDOrderSortCutoff(t *testing.T) {
+	for _, leaves := range []int{8, 40} {
+		star := func(order []int) (*graph.Graph, graph.IDs, []string, int) {
+			g := graph.New(leaves + 1)
+			for _, v := range order {
+				if err := g.AddEdge(0, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ids := make(graph.IDs, leaves+1)
+			labels := make([]string, leaves+1)
+			ids[0] = 1000
+			labels[0] = "c"
+			for v := 1; v <= leaves; v++ {
+				ids[v] = 2000 + v
+				labels[v] = fmt.Sprintf("leaf%d", v%5)
+			}
+			return g, ids, labels, leaves + 1
+		}
+		asc := make([]int, leaves)
+		desc := make([]int, leaves)
+		for i := 0; i < leaves; i++ {
+			asc[i] = i + 1
+			desc[i] = leaves - i
+		}
+		gA, idsA, labelsA, n := star(asc)
+		gD, idsD, labelsD, _ := star(desc)
+		muA := view.MustExtract(gA, graph.DefaultPorts(gA), idsA, labelsA, n, 0, 1)
+		muD := view.MustExtract(gD, graph.DefaultPorts(gD), idsD, labelsD, n, 0, 1)
+		// Edge insertion order changed the port assignment; star ports from
+		// the center are the adjacency positions, so DefaultPorts gives the
+		// ascending star port p to neighbor with id 2000+p+1 and the
+		// descending star port p to id 2000+leaves-p. Those are genuinely
+		// different views; equality must hold only after aligning ports.
+		ptAligned := graph.DefaultPorts(gA)
+		muAligned := view.MustExtract(gA, ptAligned, idsA, labelsA, n, 0, 1)
+		if muAligned.Key() != muA.Key() || !bytes.Equal(muAligned.BinKey(), muA.BinKey()) {
+			t.Fatalf("leaves=%d: identical extraction disagrees with itself", leaves)
+		}
+		if (muA.Key() == muD.Key()) != bytes.Equal(muA.BinKey(), muD.BinKey()) {
+			t.Fatalf("leaves=%d: legacy and binary keys disagree on the port-permuted pair", leaves)
+		}
+	}
+}
+
+// FuzzBinKeyKeyAgreement cross-checks the three equality notions — legacy
+// key, binary key, and Equal — on fuzz-built view pairs, including
+// anonymous and duplicate-identifier cases.
+func FuzzBinKeyKeyAgreement(f *testing.F) {
+	f.Add([]byte{3, 0xff, 1, 0, 1, 2, 3, 4})
+	f.Add([]byte{4, 0x3f, 2, 1, 0, 0, 0, 0, 9, 9})
+	f.Add([]byte{5, 0xaa, 1, 2, 3, 1, 4, 1, 5, 9, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		n := 2 + int(data[0])%4
+		var pairs [][2]int
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				pairs = append(pairs, [2]int{u, v})
+			}
+		}
+		mask := int(data[1])
+		g := graph.New(n)
+		for i, e := range pairs {
+			if mask&(1<<uint(i%8)) != 0 || i == 0 {
+				if err := g.AddEdge(e[0], e[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r := int(data[2]) % 3
+		mode := int(data[3]) % 3
+		var ids graph.IDs
+		switch mode {
+		case 1:
+			ids = graph.SequentialIDs(n)
+		case 2:
+			ids = make(graph.IDs, n)
+			for v := 0; v < n; v++ {
+				// Deliberately collision-heavy identifiers.
+				ids[v] = 1 + int(data[(4+v)%len(data)])%3
+			}
+		}
+		labels := make([]string, n)
+		for v := 0; v < n; v++ {
+			labels[v] = string(rune('a' + int(data[(5+v)%len(data)])%3))
+		}
+		pt := graph.DefaultPorts(g)
+		c1 := int(data[4]) % n
+		c2 := int(data[len(data)-1]) % n
+		v1 := view.MustExtract(g, pt, ids, labels, n, c1, r)
+		v2 := view.MustExtract(g, pt, ids, labels, n, c2, r)
+
+		keyEq := v1.Key() == v2.Key()
+		binEq := bytes.Equal(v1.BinKey(), v2.BinKey())
+		eq := v1.Equal(v2)
+		if keyEq != binEq || binEq != eq {
+			t.Fatalf("equality notions disagree: key=%v bin=%v equal=%v\nv1=%q\nv2=%q",
+				keyEq, binEq, eq, v1.Key(), v2.Key())
+		}
+		// Determinism across a cache-free recomputation.
+		if v1.Clone().Key() != v1.Key() || !bytes.Equal(v1.Clone().BinKey(), v1.BinKey()) {
+			t.Fatal("keys are not deterministic under Clone")
+		}
+		// The anonymous projections must agree with each other the same way.
+		a1, a2 := v1.Anonymize(), v2.Anonymize()
+		akeyEq := a1.Key() == a2.Key()
+		abinEq := bytes.Equal(a1.BinKey(), a2.BinKey())
+		if akeyEq != abinEq {
+			t.Fatalf("anonymous equality notions disagree: key=%v bin=%v", akeyEq, abinEq)
+		}
+	})
+}
+
+// BenchmarkIDOrderCrossover measures identifier-ordered canonicalization at
+// view sizes straddling the insertion-sort/sort.Slice cutoff (24).
+func BenchmarkIDOrderCrossover(b *testing.B) {
+	for _, leaves := range []int{8, 16, 24, 32, 64, 128} {
+		g := graph.New(leaves + 1)
+		for v := 1; v <= leaves; v++ {
+			if err := g.AddEdge(0, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pt := graph.DefaultPorts(g)
+		ids := graph.SequentialIDs(g.N())
+		labels := make([]string, g.N())
+		mu := view.MustExtract(g, pt, ids, labels, g.N(), 0, 1)
+		b.Run(fmt.Sprintf("n=%d", leaves+1), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = mu.Clone().Key()
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package view
+
+import (
+	"fmt"
+
+	"hidinglcp/internal/graph"
+)
+
+// Extractor owns reusable scratch (BFS queue, distance and local-index
+// buffers) for radius-r view extraction, so the inner enumeration loops of
+// the checkers stop allocating per call. An Extractor is deterministic — the
+// views it produces are identical to those of the package-level Extract —
+// and is NOT safe for concurrent use: give each goroutine its own (the
+// sharded builders do exactly that; there is deliberately no sync.Pool).
+//
+// The zero value is ready to use.
+type Extractor struct {
+	epoch int
+	dist  []int
+	dseen []int
+	local []int
+	lseen []int
+	queue []int
+	hosts []int
+	deg   []int
+}
+
+// NewExtractor returns a fresh Extractor.
+func NewExtractor() *Extractor { return &Extractor{} }
+
+// ensure sizes the scratch for a host graph of n nodes and opens a new
+// epoch, logically clearing the stamped buffers in O(1).
+func (ex *Extractor) ensure(n int) {
+	if len(ex.dist) < n {
+		ex.dist = make([]int, n)
+		ex.dseen = make([]int, n)
+		ex.local = make([]int, n)
+		ex.lseen = make([]int, n)
+		ex.deg = make([]int, n)
+	}
+	ex.epoch++
+}
+
+// Extract is Extract from the package API, but reuses the Extractor's
+// scratch across calls. The returned view is fully owned by the caller and
+// never aliases the scratch.
+func (ex *Extractor) Extract(g *graph.Graph, pt *graph.Ports, ids graph.IDs, labels []string, nBound, center, r int) (*View, error) {
+	if err := g.ValidateNode(center); err != nil {
+		return nil, fmt.Errorf("view center: %w", err)
+	}
+	if len(labels) != g.N() {
+		return nil, fmt.Errorf("labeling covers %d nodes, graph has %d", len(labels), g.N())
+	}
+	if ids != nil && len(ids) != g.N() {
+		return nil, fmt.Errorf("identifier assignment covers %d nodes, graph has %d", len(ids), g.N())
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("negative radius %d", r)
+	}
+	return ex.buildTemplate(g, pt, ids, nBound, center, r).Instantiate(labels), nil
+}
+
+// Template precomputes the label-independent part of a view — topology,
+// distances, ports, identifiers, and the host-node mapping — so that
+// sweeping many labelings of one instance only pays for the per-view label
+// slice. Views instantiated from one template share the immutable Adj,
+// Dist, Ports, and IDs structures (views are contractually immutable, so
+// the sharing is safe).
+func (ex *Extractor) Template(g *graph.Graph, pt *graph.Ports, ids graph.IDs, nBound, center, r int) (*Template, error) {
+	if err := g.ValidateNode(center); err != nil {
+		return nil, fmt.Errorf("view center: %w", err)
+	}
+	if ids != nil && len(ids) != g.N() {
+		return nil, fmt.Errorf("identifier assignment covers %d nodes, graph has %d", len(ids), g.N())
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("negative radius %d", r)
+	}
+	return ex.buildTemplate(g, pt, ids, nBound, center, r), nil
+}
+
+// Template is the label-independent part of one node's radius-r view.
+type Template struct {
+	radius int
+	nBound int
+	adj    [][]int
+	dist   []int
+	ports  map[[2]int]int
+	ids    []int
+	hosts  []int
+}
+
+// Hosts returns the host-graph node at each local index (hosts[0] is the
+// center). The slice is owned by the template; do not modify it.
+func (t *Template) Hosts() []int { return t.hosts }
+
+// N returns the number of nodes in views instantiated from the template.
+func (t *Template) N() int { return len(t.hosts) }
+
+// Instantiate builds the view for one labeling of the host graph. labels
+// must cover the full host graph (len(labels) == host N); only the entries
+// of visible nodes are read.
+func (t *Template) Instantiate(labels []string) *View {
+	ls := make([]string, len(t.hosts))
+	for i, w := range t.hosts {
+		ls[i] = labels[w]
+	}
+	return &View{
+		Radius: t.radius,
+		Adj:    t.adj,
+		Dist:   t.dist,
+		Ports:  t.ports,
+		IDs:    t.ids,
+		Labels: ls,
+		NBound: t.nBound,
+	}
+}
+
+// buildTemplate runs the truncated BFS and assembles the template. Inputs
+// are pre-validated.
+func (ex *Extractor) buildTemplate(g *graph.Graph, pt *graph.Ports, ids graph.IDs, nBound, center, r int) *Template {
+	n := g.N()
+	ex.ensure(n)
+	ep := ex.epoch
+	dist, dseen := ex.dist, ex.dseen
+
+	// BFS out to distance r. The FIFO queue visits nodes in nondecreasing
+	// distance, so hosts comes out grouped by distance layer.
+	q := ex.queue[:0]
+	dist[center], dseen[center] = 0, ep
+	q = append(q, center)
+	for qi := 0; qi < len(q); qi++ {
+		w := q[qi]
+		if dist[w] == r {
+			continue
+		}
+		for _, x := range g.Neighbors(w) {
+			if dseen[x] == ep {
+				continue
+			}
+			dseen[x] = ep
+			dist[x] = dist[w] + 1
+			q = append(q, x)
+		}
+	}
+	ex.queue = q
+
+	// Local nodes sorted by (distance, host index): sort each distance
+	// layer by host index.
+	hosts := append(ex.hosts[:0], q...)
+	for lo := 0; lo < len(hosts); {
+		hi := lo + 1
+		for hi < len(hosts) && dist[hosts[hi]] == dist[hosts[lo]] {
+			hi++
+		}
+		insertionSortInts(hosts[lo:hi])
+		lo = hi
+	}
+	ex.hosts = hosts
+
+	local, lseen := ex.local, ex.lseen
+	for i, w := range hosts {
+		local[w], lseen[w] = i, ep
+	}
+
+	// Count visible directed edges per node so the adjacency lists can
+	// share one backing array.
+	deg := ex.deg
+	total := 0
+	for i, w := range hosts {
+		c := 0
+		for _, x := range g.Neighbors(w) {
+			if lseen[x] != ep {
+				continue
+			}
+			// Frontier truncation: an edge between two distance-r nodes is
+			// not part of G_v^r.
+			if dist[w] == r && dist[x] == r {
+				continue
+			}
+			c++
+		}
+		deg[i] = c
+		total += c
+	}
+
+	// One backing array carries dist, ids, hosts, and the adjacency
+	// segments; capped subslices keep the template fields independent.
+	nv := len(hosts)
+	buf := make([]int, 3*nv+total)
+	t := &Template{
+		radius: r,
+		nBound: nBound,
+		adj:    make([][]int, nv),
+		dist:   buf[:nv:nv],
+		ids:    buf[nv : 2*nv : 2*nv],
+		hosts:  buf[2*nv : 3*nv : 3*nv],
+	}
+	copy(t.hosts, hosts)
+	for i, w := range hosts {
+		t.dist[i] = dist[w]
+		if ids != nil {
+			t.ids[i] = ids[w]
+		}
+	}
+	t.ports = make(map[[2]int]int, total)
+	backing := buf[3*nv:]
+	start := 0
+	for i, w := range hosts {
+		if deg[i] == 0 {
+			continue
+		}
+		seg := backing[start : start+deg[i]]
+		start += deg[i]
+		k := 0
+		for _, x := range g.Neighbors(w) {
+			if lseen[x] != ep || (dist[w] == r && dist[x] == r) {
+				continue
+			}
+			j := local[x]
+			seg[k] = j
+			k++
+			t.ports[[2]int{i, j}] = pt.MustPort(w, x)
+		}
+		insertionSortInts(seg)
+		t.adj[i] = seg
+	}
+	return t
+}

@@ -1,9 +1,8 @@
 package view
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Key returns a canonical string key: two views have the same key iff they
@@ -15,20 +14,43 @@ import (
 // canonical node order; otherwise the key is the lexicographic minimum over
 // all distance-class-respecting orderings (views are small, so the search is
 // cheap).
+//
+// The key is computed once and cached; see BinKey for the compact binary
+// encoding used by the interner fast path.
 func (v *View) Key() string {
+	v.cacheMu.Lock()
+	k := v.cachedKey
+	if k == "" {
+		k = v.computeKey()
+		v.cachedKey = k
+	}
+	v.cacheMu.Unlock()
+	return k
+}
+
+func (v *View) computeKey() string {
 	if order, ok := v.idOrder(); ok {
-		return v.serialize(order)
+		return string(v.appendSerialize(nil, order, make([]int, v.N())))
 	}
 	return v.minKey()
 }
 
-// Equal reports whether two views are equal in the sense of Key.
+// Equal reports whether two views are equal in the sense of Key. It compares
+// the cached binary keys, which partition views exactly as Key does.
 func (v *View) Equal(w *View) bool {
+	if v == w {
+		return true
+	}
 	if v.N() != w.N() || v.Radius != w.Radius || v.NBound != w.NBound {
 		return false
 	}
-	return v.Key() == w.Key()
+	return string(v.BinKey()) == string(w.BinKey())
 }
+
+// idOrderSortCutoff is the view size above which idOrder switches from
+// insertion sort to sort.Slice; below it the insertion sort wins on
+// constant factors (see BenchmarkIDOrder for the crossover).
+const idOrderSortCutoff = 24
 
 // idOrder returns nodes sorted by (distance, identifier) if all identifiers
 // are nonzero and distinct.
@@ -45,7 +67,17 @@ func (v *View) idOrder() ([]int, bool) {
 		order[i] = i
 	}
 	dist, ids := v.Dist, v.IDs
-	// Insertion sort by (dist, id); views are small.
+	if len(order) > idOrderSortCutoff {
+		sort.Slice(order, func(a, b int) bool {
+			x, y := order[a], order[b]
+			if dist[x] != dist[y] {
+				return dist[x] < dist[y]
+			}
+			return ids[x] < ids[y]
+		})
+		return order, true
+	}
+	// Insertion sort by (dist, id); small views.
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {
 			a, b := order[j-1], order[j]
@@ -65,14 +97,15 @@ func (v *View) idOrder() ([]int, bool) {
 // realistic views while remaining canonical.
 func (v *View) minKey() string {
 	classes := v.refinedClasses()
-	best := ""
+	var best, cand []byte
+	pos := make([]int, v.N())
 	order := make([]int, 0, v.N())
 	var rec func(ci int)
 	rec = func(ci int) {
 		if ci == len(classes) {
-			s := v.serialize(order)
-			if best == "" || s < best {
-				best = s
+			cand = v.appendSerialize(cand[:0], order, pos)
+			if best == nil || string(cand) < string(best) {
+				best = append(best[:0], cand...)
 			}
 			return
 		}
@@ -83,7 +116,7 @@ func (v *View) minKey() string {
 		})
 	}
 	rec(0)
-	return best
+	return string(best)
 }
 
 // refinedClasses partitions local nodes into ordered classes by an
@@ -95,8 +128,10 @@ func (v *View) minKey() string {
 func (v *View) refinedClasses() [][]int {
 	n := v.N()
 	sig := make([]string, n)
+	var buf []byte
 	for i := 0; i < n; i++ {
-		sig[i] = fmt.Sprintf("d%03d;l%q;k%03d;i%06d", v.Dist[i], v.Labels[i], v.Degree(i), v.IDs[i])
+		buf = v.appendBaseSig(buf[:0], i)
+		sig[i] = string(buf)
 	}
 	allDistinct := func() bool {
 		seen := make(map[string]bool, n)
@@ -111,13 +146,27 @@ func (v *View) refinedClasses() [][]int {
 	for round := 0; round < n && !allDistinct(); round++ {
 		next := make([]string, n)
 		changed := false
+		arms := make([]string, 0, n)
 		for i := 0; i < n; i++ {
-			arms := make([]string, 0, v.Degree(i))
+			arms = arms[:0]
 			for _, w := range v.Adj[i] {
-				arms = append(arms, fmt.Sprintf("%d>%d:%s", v.Ports[[2]int{i, w}], v.Ports[[2]int{w, i}], sig[w]))
+				buf = strconv.AppendInt(buf[:0], int64(v.Ports[[2]int{i, w}]), 10)
+				buf = append(buf, '>')
+				buf = strconv.AppendInt(buf, int64(v.Ports[[2]int{w, i}]), 10)
+				buf = append(buf, ':')
+				buf = append(buf, sig[w]...)
+				arms = append(arms, string(buf))
 			}
 			sort.Strings(arms)
-			next[i] = sig[i] + "|" + strings.Join(arms, ",")
+			buf = append(buf[:0], sig[i]...)
+			buf = append(buf, '|')
+			for k, a := range arms {
+				if k > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, a...)
+			}
+			next[i] = string(buf)
 		}
 		// Compress to keep signatures short.
 		index := map[string]int{}
@@ -133,7 +182,10 @@ func (v *View) refinedClasses() [][]int {
 			index[s] = rank
 		}
 		for i := 0; i < n; i++ {
-			compressed := fmt.Sprintf("d%03d;l%q;k%03d;i%06d;c%06d", v.Dist[i], v.Labels[i], v.Degree(i), v.IDs[i], index[next[i]])
+			buf = v.appendBaseSig(buf[:0], i)
+			buf = append(buf, ";c"...)
+			buf = appendPaddedInt(buf, index[next[i]], 6)
+			compressed := string(buf)
 			if compressed != sig[i] {
 				changed = true
 			}
@@ -160,6 +212,36 @@ func (v *View) refinedClasses() [][]int {
 	return classes
 }
 
+// appendBaseSig appends node i's round-0 refinement signature
+// ("d%03d;l%q;k%03d;i%06d" in the legacy fmt spelling).
+func (v *View) appendBaseSig(b []byte, i int) []byte {
+	b = append(b, 'd')
+	b = appendPaddedInt(b, v.Dist[i], 3)
+	b = append(b, ";l"...)
+	b = strconv.AppendQuote(b, v.Labels[i])
+	b = append(b, ";k"...)
+	b = appendPaddedInt(b, v.Degree(i), 3)
+	b = append(b, ";i"...)
+	b = appendPaddedInt(b, v.IDs[i], 6)
+	return b
+}
+
+// appendPaddedInt appends x zero-padded to the given width, matching
+// fmt's %0<width>d (sign first, digits padded to the remaining width).
+func appendPaddedInt(b []byte, x, width int) []byte {
+	var tmp [20]byte
+	if x < 0 {
+		b = append(b, '-')
+		x = -x
+		width--
+	}
+	s := strconv.AppendInt(tmp[:0], int64(x), 10)
+	for i := len(s); i < width; i++ {
+		b = append(b, '0')
+	}
+	return append(b, s...)
+}
+
 func permute(items []int, fn func([]int)) {
 	perm := append([]int(nil), items...)
 	var rec func(i int)
@@ -177,24 +259,65 @@ func permute(items []int, fn func([]int)) {
 	rec(0)
 }
 
-// serialize renders the view under the given node ordering. order[k] is the
-// local node placed at position k.
-func (v *View) serialize(order []int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "r%d#n%d#N%d", v.Radius, v.N(), v.NBound)
-	for _, i := range order {
-		fmt.Fprintf(&b, "|d%d;i%d;l%q", v.Dist[i], v.IDs[i], v.Labels[i])
+// appendSerialize renders the view under the given node ordering into dst.
+// order[k] is the local node placed at position k; pos is caller-provided
+// scratch of length ≥ N. The output is byte-identical to the historical
+// fmt-based serialization ("r%d#n%d#N%d" header, "|d%d;i%d;l%q" per node,
+// "|e%d,%d:%d,%d" per visible edge in increasing position order).
+func (v *View) appendSerialize(dst []byte, order []int, pos []int) []byte {
+	n := v.N()
+	if dst == nil {
+		dst = make([]byte, 0, 24+20*n)
 	}
-	for ka := 0; ka < v.N(); ka++ {
-		for kb := ka + 1; kb < v.N(); kb++ {
-			a, b2 := order[ka], order[kb]
-			pab, ok := v.Ports[[2]int{a, b2}]
-			if !ok {
-				continue
+	dst = append(dst, 'r')
+	dst = strconv.AppendInt(dst, int64(v.Radius), 10)
+	dst = append(dst, "#n"...)
+	dst = strconv.AppendInt(dst, int64(n), 10)
+	dst = append(dst, "#N"...)
+	dst = strconv.AppendInt(dst, int64(v.NBound), 10)
+	for _, i := range order {
+		dst = append(dst, "|d"...)
+		dst = strconv.AppendInt(dst, int64(v.Dist[i]), 10)
+		dst = append(dst, ";i"...)
+		dst = strconv.AppendInt(dst, int64(v.IDs[i]), 10)
+		dst = append(dst, ";l"...)
+		dst = strconv.AppendQuote(dst, v.Labels[i])
+	}
+	for k, i := range order {
+		pos[i] = k
+	}
+	var nbArr [16]int
+	nb := nbArr[:0]
+	for ka := 0; ka < n; ka++ {
+		a := order[ka]
+		nb = nb[:0]
+		for _, w := range v.Adj[a] {
+			if kb := pos[w]; kb > ka {
+				nb = append(nb, kb)
 			}
-			pba := v.Ports[[2]int{b2, a}]
-			fmt.Fprintf(&b, "|e%d,%d:%d,%d", ka, kb, pab, pba)
+		}
+		insertionSortInts(nb)
+		for _, kb := range nb {
+			b := order[kb]
+			dst = append(dst, "|e"...)
+			dst = strconv.AppendInt(dst, int64(ka), 10)
+			dst = append(dst, ',')
+			dst = strconv.AppendInt(dst, int64(kb), 10)
+			dst = append(dst, ':')
+			dst = strconv.AppendInt(dst, int64(v.Ports[[2]int{a, b}]), 10)
+			dst = append(dst, ',')
+			dst = strconv.AppendInt(dst, int64(v.Ports[[2]int{b, a}]), 10)
 		}
 	}
-	return b.String()
+	return dst
+}
+
+// insertionSortInts sorts small int slices in place without the sort
+// package's interface overhead; neighbor lists are tiny.
+func insertionSortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

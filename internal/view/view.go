@@ -12,7 +12,7 @@ package view
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"hidinglcp/internal/graph"
 )
@@ -41,6 +41,13 @@ type View struct {
 	// NBound is the common upper bound N = poly(n) on identifiers that is
 	// part of every node's input (Section 2.2).
 	NBound int
+
+	// cacheMu guards the lazily computed canonical-key caches below. Views
+	// are immutable after extraction, so the caches are write-once; clones
+	// start with empty caches and never share them with the original.
+	cacheMu   sync.Mutex
+	cachedKey string
+	cachedBin []byte
 }
 
 // Center is the local index of the view's center node; always 0.
@@ -79,10 +86,14 @@ func (v *View) Anonymous() bool {
 	return true
 }
 
-// Anonymize returns a copy of v with all identifiers erased (set to 0).
-// Anonymous decoders and the anonymous hiding property work on anonymized
-// views.
+// Anonymize returns a view with all identifiers erased (set to 0): a copy
+// when v carries identifiers, and v itself when it is already anonymous
+// (views are immutable, so the shared value is safe). Anonymous decoders and
+// the anonymous hiding property work on anonymized views.
 func (v *View) Anonymize() *View {
+	if v.Anonymous() {
+		return v
+	}
 	c := v.clone()
 	for i := range c.IDs {
 		c.IDs[i] = 0
@@ -137,71 +148,8 @@ func (v *View) LocalNodeWithID(id int) int {
 // The view's node set is N^r(center); edges between two nodes both at
 // distance exactly r are invisible and omitted, as are their ports.
 func Extract(g *graph.Graph, pt *graph.Ports, ids graph.IDs, labels []string, nBound, center, r int) (*View, error) {
-	if err := g.ValidateNode(center); err != nil {
-		return nil, fmt.Errorf("view center: %w", err)
-	}
-	if len(labels) != g.N() {
-		return nil, fmt.Errorf("labeling covers %d nodes, graph has %d", len(labels), g.N())
-	}
-	if ids != nil && len(ids) != g.N() {
-		return nil, fmt.Errorf("identifier assignment covers %d nodes, graph has %d", len(ids), g.N())
-	}
-	if r < 0 {
-		return nil, fmt.Errorf("negative radius %d", r)
-	}
-
-	dist := g.BFSDistances(center)
-	// Local nodes sorted by (distance, host index); center first.
-	var hosts []int
-	for w, d := range dist {
-		if d != graph.Unreachable && d <= r {
-			hosts = append(hosts, w)
-		}
-	}
-	sort.Slice(hosts, func(a, b int) bool {
-		if dist[hosts[a]] != dist[hosts[b]] {
-			return dist[hosts[a]] < dist[hosts[b]]
-		}
-		return hosts[a] < hosts[b]
-	})
-	local := make(map[int]int, len(hosts))
-	for i, w := range hosts {
-		local[w] = i
-	}
-
-	v := &View{
-		Radius: r,
-		Adj:    make([][]int, len(hosts)),
-		Dist:   make([]int, len(hosts)),
-		Ports:  make(map[[2]int]int),
-		IDs:    make([]int, len(hosts)),
-		Labels: make([]string, len(hosts)),
-		NBound: nBound,
-	}
-	for i, w := range hosts {
-		v.Dist[i] = dist[w]
-		if ids != nil {
-			v.IDs[i] = ids[w]
-		}
-		v.Labels[i] = labels[w]
-	}
-	for i, w := range hosts {
-		for _, x := range g.Neighbors(w) {
-			j, visible := local[x]
-			if !visible {
-				continue
-			}
-			// Frontier truncation: an edge between two distance-r nodes is
-			// not part of G_v^r.
-			if dist[w] == r && dist[x] == r {
-				continue
-			}
-			v.Adj[i] = append(v.Adj[i], j)
-			v.Ports[[2]int{i, j}] = pt.MustPort(w, x)
-		}
-		sort.Ints(v.Adj[i])
-	}
-	return v, nil
+	var ex Extractor
+	return ex.Extract(g, pt, ids, labels, nBound, center, r)
 }
 
 // MustExtract is Extract but panics on error; for inputs valid by
