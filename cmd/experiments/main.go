@@ -4,29 +4,63 @@
 //
 // Usage:
 //
-//	experiments [-only E3] [-list] [-shards N] [-workers N]
+//	experiments [-run e04 | -only E4] [-list] [-shards N] [-workers N]
+//	            [-metrics-json out.json] [-trace trace.json] [-progress] [-pprof addr]
+//
+// -metrics-json writes a run manifest (schema docs/run-manifest.schema.json)
+// with one counter/gauge/histogram snapshot per pipeline metric; -progress
+// prints periodic phase lines with ETA to stderr; -pprof serves
+// net/http/pprof plus an expvar view of the live metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"hidinglcp/internal/cli"
 	"hidinglcp/internal/experiments"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
+	runID := flag.String("run", "", "run a single experiment by ID, case/zero-insensitive (e.g. e04)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	shards := flag.Int("shards", 0, "shard count for the parallel search/build phases (0 = 4 per worker)")
 	workers := flag.Int("workers", 0, "worker count for the parallel search/build phases (0 = GOMAXPROCS)")
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
 
 	experiments.SetParallelism(*shards, *workers)
-	if err := run(*only, *list); err != nil {
+	sel := *only
+	if *runID != "" {
+		sel = normalizeID(*runID)
+	}
+
+	sc, manifest, finish := obsFlags.Setup("experiments", os.Args[1:])
+	manifest.SetConfig("shards", strconv.Itoa(*shards))
+	manifest.SetConfig("workers", strconv.Itoa(*workers))
+	if sel != "" {
+		manifest.SetConfig("experiment", sel)
+	}
+	experiments.SetScope(sc)
+
+	if err := finish(run(sel, *list)); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// normalizeID maps user-friendly spellings ("e04", "E04", "4") onto the
+// canonical experiment IDs ("E4").
+func normalizeID(s string) string {
+	t := strings.TrimLeft(strings.ToUpper(strings.TrimSpace(s)), "E")
+	if n, err := strconv.Atoi(t); err == nil {
+		return fmt.Sprintf("E%d", n)
+	}
+	return strings.ToUpper(strings.TrimSpace(s))
 }
 
 func run(only string, list bool) error {

@@ -18,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"hidinglcp/internal/cli"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/sanitize"
 	"hidinglcp/internal/sim"
 )
@@ -36,6 +38,7 @@ func main() {
 	exhaustive := flag.Bool("exhaustive", false, "exhaustively search all labelings of the instance for strong-soundness violations")
 	shards := flag.Int("shards", 0, "shard count for the exhaustive search (0 = 4 per worker)")
 	workers := flag.Int("workers", 0, "worker count for the exhaustive search (0 = GOMAXPROCS)")
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
 
 	if *schemeName == "help" {
@@ -44,7 +47,13 @@ func main() {
 		}
 		return
 	}
-	if err := run(*schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers); err != nil {
+	sc, manifest, finish := obsFlags.Setup("lcpcheck", os.Args[1:])
+	manifest.SetConfig("scheme", *schemeName)
+	manifest.SetConfig("graph", *graphSpec)
+	manifest.SetConfig("shards", strconv.Itoa(*shards))
+	manifest.SetConfig("workers", strconv.Itoa(*workers))
+	err := run(sc, *schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers)
+	if err := finish(err); err != nil {
 		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
 		os.Exit(1)
 	}
@@ -55,7 +64,10 @@ func main() {
 // certainly mistyped the graph size.
 const maxExhaustiveLabelings = 20_000_000
 
-func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
+func run(sc obs.Scope, schemeName, graphSpec string, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
+	// Name the scope after the scheme so every progress line and span of the
+	// exhaustive search says which scheme (and shard counts) it is on.
+	sc = sc.Named("scheme=" + schemeName)
 	s, err := cli.SchemeByName(schemeName)
 	if err != nil {
 		return err
@@ -134,7 +146,7 @@ func run(schemeName, graphSpec string, verbose, conflicts, distributed, sanitize
 			return fmt.Errorf("exhaustive search needs %.0f labelings (%d^%d); refusing above %d — use a smaller graph",
 				space, len(alphabet), g.N(), maxExhaustiveLabelings)
 		}
-		if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, alphabet, shards, workers); err != nil {
+		if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, alphabet, shards, workers); err != nil {
 			return err
 		}
 		fmt.Printf("strong soundness: no violation across %.0f labelings (%d^%d)\n", space, len(alphabet), g.N())

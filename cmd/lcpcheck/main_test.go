@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"hidinglcp/internal/obs"
+)
 
 func TestRunSchemes(t *testing.T) {
 	tests := []struct {
@@ -23,7 +27,7 @@ func TestRunSchemes(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.scheme, tt.graph, true, true, tt.distributed, true, false, 0, 0)
+			err := run(obs.Scope{}, tt.scheme, tt.graph, true, true, tt.distributed, true, false, 0, 0)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}
@@ -46,7 +50,7 @@ func TestRunExhaustive(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.scheme, tt.graph, false, false, false, false, true, 8, 2)
+			err := run(obs.Scope{}, tt.scheme, tt.graph, false, false, false, false, true, 8, 2)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}

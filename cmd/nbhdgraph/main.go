@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"hidinglcp/internal/cli"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/obs"
 )
 
 func main() {
@@ -30,15 +32,22 @@ func main() {
 	dotPath := flag.String("dot", "", "write the neighborhood graph in DOT format to this file")
 	shards := flag.Int("shards", 0, "shard count for the parallel build (0 = 4 per worker)")
 	workers := flag.Int("workers", 0, "worker count for the parallel build (0 = GOMAXPROCS)")
+	obsFlags := cli.RegisterObsFlags()
 	flag.Parse()
 
-	if err := run(*schemeName, *graphsSpec, *dotPath, *shards, *workers); err != nil {
+	sc, manifest, finish := obsFlags.Setup("nbhdgraph", os.Args[1:])
+	manifest.SetConfig("scheme", *schemeName)
+	manifest.SetConfig("shards", strconv.Itoa(*shards))
+	manifest.SetConfig("workers", strconv.Itoa(*workers))
+	err := run(sc, *schemeName, *graphsSpec, *dotPath, *shards, *workers)
+	if err := finish(err); err != nil {
 		fmt.Fprintf(os.Stderr, "nbhdgraph: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName, graphsSpec, dotPath string, shards, workers int) error {
+func run(sc obs.Scope, schemeName, graphsSpec, dotPath string, shards, workers int) error {
+	sc = sc.Named("scheme=" + schemeName)
 	s, err := cli.SchemeByName(schemeName)
 	if err != nil {
 		return err
@@ -47,7 +56,7 @@ func run(schemeName, graphsSpec, dotPath string, shards, workers int) error {
 	if err != nil {
 		return err
 	}
-	ng, err := nbhd.BuildSharded(s.Decoder, enum, shards, workers)
+	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, enum, shards, workers)
 	if err != nil {
 		return err
 	}

@@ -5,12 +5,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hidinglcp/internal/obs"
 )
 
 func TestRunCanonicalFamilies(t *testing.T) {
 	for _, scheme := range []string{"degree-one", "even-cycle", "shatter", "watermelon"} {
 		t.Run(scheme, func(t *testing.T) {
-			if err := run(scheme, "", "", 3, 2); err != nil {
+			if err := run(obs.Scope{}, scheme, "", "", 3, 2); err != nil {
 				t.Errorf("run(%s): %v", scheme, err)
 			}
 		})
@@ -18,29 +20,29 @@ func TestRunCanonicalFamilies(t *testing.T) {
 }
 
 func TestRunCustomFamily(t *testing.T) {
-	if err := run("trivial", "path:3,cycle:4", "", 0, 0); err != nil {
+	if err := run(obs.Scope{}, "trivial", "path:3,cycle:4", "", 0, 0); err != nil {
 		t.Errorf("custom family: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", "", 0, 0); err == nil {
+	if err := run(obs.Scope{}, "bogus", "", "", 0, 0); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run("trivial", "", "", 0, 0); err == nil {
+	if err := run(obs.Scope{}, "trivial", "", "", 0, 0); err == nil {
 		t.Error("trivial without -graphs accepted")
 	}
-	if err := run("trivial", "bad:spec", "", 0, 0); err == nil {
+	if err := run(obs.Scope{}, "trivial", "bad:spec", "", 0, 0); err == nil {
 		t.Error("bad graph spec accepted")
 	}
-	if err := run("trivial", "cycle:5", "", 0, 0); err == nil {
+	if err := run(obs.Scope{}, "trivial", "cycle:5", "", 0, 0); err == nil {
 		t.Error("prover-labeled family on a no-instance accepted")
 	}
 }
 
 func TestRunDOTExport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.dot")
-	if err := run("shatter", "", path, 16, 4); err != nil {
+	if err := run(obs.Scope{}, "shatter", "", path, 16, 4); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -6,7 +6,7 @@
 // library's go/ast, go/parser, and go/types so the linter works offline
 // with no external modules.
 //
-// Four analyzers are provided (see All):
+// Five analyzers are provided (see All):
 //
 //   - decoderpurity: a Decide method must not write receiver fields,
 //     package-level variables, or mutate its *view.View argument.
@@ -17,6 +17,9 @@
 //     sources (time.Now, global math/rand, os.Getenv, ...).
 //   - anonid: a decoder whose Anonymous() constantly returns true must not
 //     read view identifiers in Decide.
+//   - obspurity: a Decide body must not read the clock or call into the
+//     observability layer (internal/obs); metrics flow out of the
+//     pipelines, never back into verdicts.
 //
 // The analyzers run over packages loaded by Load (backed by `go list` and
 // the go/types source importer) and are wired into the cmd/lcplint
@@ -88,6 +91,7 @@ func All() []*Analyzer {
 		MapOrderAnalyzer,
 		NondetAnalyzer,
 		AnonIDAnalyzer,
+		ObsPurityAnalyzer,
 	}
 }
 

@@ -26,6 +26,10 @@ func TestAnonID(t *testing.T) {
 	analysistest.Run(t, "testdata", "anonid", analysis.AnonIDAnalyzer)
 }
 
+func TestObsPurity(t *testing.T) {
+	analysistest.Run(t, "testdata", "obspurity", analysis.ObsPurityAnalyzer)
+}
+
 func TestAllListsEveryAnalyzer(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -37,7 +41,7 @@ func TestAllListsEveryAnalyzer(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"decoderpurity", "maporder", "nondet", "anonid"} {
+	for _, want := range []string{"decoderpurity", "maporder", "nondet", "anonid", "obspurity"} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

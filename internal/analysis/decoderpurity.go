@@ -156,6 +156,8 @@ func exprString(e ast.Expr) string {
 		return exprString(x.X) + "[...]"
 	case *ast.TypeAssertExpr:
 		return exprString(x.X) + ".(...)"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
 	default:
 		return "expression"
 	}

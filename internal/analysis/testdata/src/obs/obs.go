@@ -1,0 +1,25 @@
+// Package obs is a minimal replica of hidinglcp/internal/obs for analyzer
+// fixtures: the obspurity analyzer matches on the package name "obs", so
+// fixtures stay self-contained.
+package obs
+
+// Counter mirrors the real monotonically increasing counter.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v += d }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Scope mirrors the real metric-handle factory.
+type Scope struct{}
+
+// Counter returns the named counter.
+func (s Scope) Counter(name string) *Counter { return &Counter{} }
+
+// Now mirrors the real package's sanctioned clock read.
+func Now() int64 { return 0 }

@@ -1,0 +1,107 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hidinglcp/internal/obs"
+)
+
+// ObsFlags carries the observability flag values shared by every command
+// (cmd/experiments, cmd/nbhdgraph, cmd/lcpcheck).
+type ObsFlags struct {
+	// MetricsJSON is the path the run manifest is written to ("" = off).
+	MetricsJSON string
+	// TracePath is the path the span/event trace is written to ("" = off).
+	TracePath string
+	// Progress enables periodic progress lines on stderr.
+	Progress bool
+	// Pprof is the listen address of the debug HTTP server ("" = off),
+	// serving net/http/pprof and an expvar snapshot of the metrics.
+	Pprof string
+}
+
+// RegisterObsFlags declares the shared observability flags on the default
+// flag set and returns the destination struct, to be read after
+// flag.Parse.
+func RegisterObsFlags() *ObsFlags {
+	var f ObsFlags
+	flag.StringVar(&f.MetricsJSON, "metrics-json", "", "write a run manifest (metrics, config, timings) to this JSON file")
+	flag.StringVar(&f.TracePath, "trace", "", "write the span/event trace to this JSON file")
+	flag.BoolVar(&f.Progress, "progress", false, "print periodic progress lines with ETA to stderr")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	return &f
+}
+
+// Setup builds the observability scope the flags request and returns it
+// with the run manifest (nil unless -metrics-json is set; SetConfig on a
+// nil manifest is a safe no-op) and a finish callback. The callback must be
+// invoked exactly once with the run's error: it stops the progress
+// reporter, finalizes and writes the manifest and trace, shuts the pprof
+// server down, and returns the first error among the run itself and the
+// artifact writes.
+//
+// With no flags set, the returned scope is the zero no-op Scope and finish
+// only forwards the run error — commands can call Setup unconditionally.
+func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifest, func(error) error) {
+	if f.MetricsJSON == "" && f.TracePath == "" && !f.Progress && f.Pprof == "" {
+		return obs.Scope{}, nil, func(runErr error) error { return runErr }
+	}
+
+	sc := obs.NewScope()
+	var tracer *obs.Tracer
+	if f.MetricsJSON != "" || f.TracePath != "" {
+		tracer = obs.NewTracer(0) // default capacity
+		sc = sc.WithTracer(tracer)
+	}
+	var prog *obs.Progress
+	if f.Progress {
+		prog = obs.NewProgress(os.Stderr, 0) // default interval
+		sc = sc.WithProgress(prog)
+	}
+	var manifest *obs.RunManifest
+	if f.MetricsJSON != "" {
+		manifest = obs.NewManifest(tool, args)
+	}
+	var stopPprof func() error
+	if f.Pprof != "" {
+		addr, stop, err := obs.ServeDebug(f.Pprof, sc.Registry())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", tool, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: pprof and expvar metrics on http://%s/debug/pprof/\n", tool, addr)
+			stopPprof = stop
+		}
+	}
+
+	finish := func(runErr error) error {
+		if prog != nil {
+			prog.Close()
+		}
+		firstErr := runErr
+		record := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if manifest != nil {
+			manifest.Finalize(sc, runErr)
+			record(manifest.WriteFile(f.MetricsJSON))
+		}
+		if f.TracePath != "" && tracer != nil {
+			file, err := os.Create(f.TracePath)
+			if err != nil {
+				record(err)
+			} else {
+				record(tracer.WriteJSON(file))
+				record(file.Close())
+			}
+		}
+		if stopPprof != nil {
+			record(stopPprof())
+		}
+		return firstErr
+	}
+	return sc, manifest, finish
+}

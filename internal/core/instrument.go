@@ -1,0 +1,45 @@
+package core
+
+import (
+	"hidinglcp/internal/obs"
+	"hidinglcp/internal/view"
+)
+
+// InstrumentDecoder wraps d so that every Decide call bumps the scope
+// counters "<prefix>.decide.calls" and "<prefix>.decide.accepts", while the
+// verdict itself is delegated unchanged. This is the one sanctioned way to
+// observe a decoder from inside a pipeline: the wrapper adds no state the
+// verdict could depend on, so it preserves the determinism contract the
+// obspurity analyzer and the sanitizer's instrumentation probe enforce for
+// decoder implementations themselves. A disabled scope returns d untouched,
+// so the uninstrumented path has zero wrapping cost.
+func InstrumentDecoder(d Decoder, sc obs.Scope, prefix string) Decoder {
+	if !sc.Enabled() {
+		return d
+	}
+	return &instrumentedDecoder{
+		d:       d,
+		calls:   sc.Counter(prefix + ".decide.calls"),
+		accepts: sc.Counter(prefix + ".decide.accepts"),
+	}
+}
+
+type instrumentedDecoder struct {
+	d       Decoder
+	calls   *obs.Counter
+	accepts *obs.Counter
+}
+
+func (i *instrumentedDecoder) Rounds() int     { return i.d.Rounds() }
+func (i *instrumentedDecoder) Anonymous() bool { return i.d.Anonymous() }
+
+func (i *instrumentedDecoder) Decide(mu *view.View) bool {
+	//lint:ignore obspurity counting wrapper: the verdict is delegated unchanged
+	i.calls.Inc()
+	out := i.d.Decide(mu)
+	if out {
+		//lint:ignore obspurity counting wrapper: the verdict is delegated unchanged
+		i.accepts.Inc()
+	}
+	return out
+}

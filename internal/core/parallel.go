@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"hidinglcp/internal/graph"
+	"hidinglcp/internal/obs"
 )
 
 func resolveShardsWorkers(shards, workers int) (int, int) {
@@ -36,11 +37,32 @@ func resolveShardsWorkers(shards, workers int) (int, int) {
 // search falls back to the sequential path when only one worker or shard
 // results, or when the labeling space is too large for 64-bit ranks.
 func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
+	return ExhaustiveStrongSoundnessParallelScoped(obs.Scope{}, d, lang, inst, alphabet, shards, workers)
+}
+
+// ExhaustiveStrongSoundnessParallelScoped is ExhaustiveStrongSoundnessParallel
+// reporting into an observability scope: per-worker sweep tallies (labelings
+// checked, decoder memo hits, language memo hits) are harvested after the
+// worker barrier, shard completion advances the scope's progress phase, and
+// pruned shard abandonments are counted. A zero Scope degrades to exactly
+// the unscoped search; verdicts are never affected by instrumentation
+// (enforced by the sanitizer's instrumentation probe).
+func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
 	n := inst.G.N()
 	shards, workers = resolveShardsWorkers(shards, workers)
 	if workers == 1 || shards == 1 || !graph.LabelingRankFits(n, len(alphabet)) {
+		sc.Counter("core.sweep.sequential_fallback").Inc()
 		return ExhaustiveStrongSoundness(d, lang, inst, alphabet)
 	}
+
+	span := sc.Span(sc.Label("core.exhaustive"))
+	span.SetAttr("shards", fmt.Sprint(shards))
+	span.SetAttr("workers", fmt.Sprint(workers))
+	defer span.End()
+	sc.Prog().StartPhase(sc.Label("exhaustive"), int64(shards))
+	defer sc.Prog().EndPhase()
+	shardsDone := sc.Counter("core.sweep.shards.done")
+	pruned := sc.Counter("core.sweep.shards.pruned")
 
 	var best atomic.Uint64
 	best.Store(math.MaxUint64)
@@ -61,11 +83,12 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 		}
 	}
 
+	sweeps := make([]*labelSweep, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Each worker owns a sweep: templates and verdict memos are
 			// per-goroutine, so workers never contend on them.
@@ -74,6 +97,7 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 				record(0, fmt.Errorf("extracting views: %w", serr))
 				return
 			}
+			sweeps[w] = sweep
 			for {
 				s := int(next.Add(1)) - 1
 				if s >= shards {
@@ -85,6 +109,7 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 					// best violation is prunable: any violation there would
 					// rank higher and lose to the recorded one anyway.
 					if r >= best.Load() {
+						pruned.Inc()
 						return false
 					}
 					if err := sweep.check(idx); err != nil {
@@ -93,15 +118,21 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 					}
 					return true
 				})
+				shardsDone.Inc()
+				sc.Prog().Add(1)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for _, sweep := range sweeps {
+		sweep.harvest(sc)
+	}
 
 	r := best.Load()
 	if r == math.MaxUint64 {
 		return nil
 	}
+	sc.Counter("core.sweep.violations").Inc()
 	mu.Lock()
 	defer mu.Unlock()
 	return found[r]
@@ -116,10 +147,26 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 // drawn all of them, so the final rng positions differ; the reported
 // violation does not.)
 func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials int, rng *rand.Rand, gen func(node int, rng *rand.Rand) string, workers int) error {
+	return FuzzStrongSoundnessParallelScoped(obs.Scope{}, d, lang, inst, trials, rng, gen, workers)
+}
+
+// FuzzStrongSoundnessParallelScoped is FuzzStrongSoundnessParallel reporting
+// into an observability scope: trials advance the scope's progress phase,
+// and the per-worker sweep tallies are harvested after the worker barrier.
+// A zero Scope degrades to exactly the unscoped fuzzer.
+func FuzzStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Language, inst Instance, trials int, rng *rand.Rand, gen func(node int, rng *rand.Rand) string, workers int) error {
 	n := inst.G.N()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	span := sc.Span(sc.Label("core.fuzz"))
+	span.SetAttr("trials", fmt.Sprint(trials))
+	span.SetAttr("workers", fmt.Sprint(workers))
+	defer span.End()
+	sc.Prog().StartPhase(sc.Label("fuzz"), int64(trials))
+	defer sc.Prog().EndPhase()
+	trialsChecked := sc.Counter("core.fuzz.trials.checked")
+
 	drawn := make([][]string, trials)
 	for t := range drawn {
 		labels := make([]string, n)
@@ -134,13 +181,17 @@ func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials
 	best.Store(bestT)
 	var mu sync.Mutex
 	found := map[int64]error{}
+	sweeps := make([]*labelSweep, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			sweep, serr := newLabelSweep(d, lang, inst, nil)
+			if serr == nil {
+				sweeps[w] = sweep
+			}
 			for {
 				t := next.Add(1) - 1
 				// Trials are claimed in increasing order, so once t passes
@@ -154,6 +205,8 @@ func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials
 				} else {
 					err = sweep.checkLabels(drawn[t])
 				}
+				trialsChecked.Inc()
+				sc.Prog().Add(1)
 				if err != nil {
 					for {
 						cur := best.Load()
@@ -170,14 +223,18 @@ func FuzzStrongSoundnessParallel(d Decoder, lang Language, inst Instance, trials
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	for _, sweep := range sweeps {
+		sweep.harvest(sc)
+	}
 
 	t := best.Load()
 	if t == int64(trials) {
 		return nil
 	}
+	sc.Counter("core.fuzz.violations").Inc()
 	mu.Lock()
 	defer mu.Unlock()
 	return fmt.Errorf("trial %d: %w", t, found[t])

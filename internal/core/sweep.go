@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/view"
 )
 
@@ -39,6 +40,30 @@ type labelSweep struct {
 	// the induced subgraph, which the accepting set determines.
 	langMemo map[uint64]bool
 	useMask  bool
+
+	// Plain tallies, private to the owning goroutine (a labelSweep is
+	// single-goroutine by contract); the scoped parallel drivers harvest
+	// them after their WaitGroup barrier.
+	nChecked        int64 // labelings verified
+	nDecide         int64 // per-node verdicts requested
+	nDecideMemoHits int64 // verdicts served from the rank/string memos
+	nDecideInner    int64 // verdicts that invoked the decoder
+	nLangEvals      int64 // language membership evaluations
+	nLangMemoHits   int64 // language verdicts served from the bitmask memo
+}
+
+// harvest folds the sweep's tallies into the scope's counters. Call only
+// after the owning goroutine has finished sweeping.
+func (s *labelSweep) harvest(sc obs.Scope) {
+	if s == nil || !sc.Enabled() {
+		return
+	}
+	sc.Counter("core.sweep.labelings.checked").Add(s.nChecked)
+	sc.Counter("core.sweep.decide.calls").Add(s.nDecide)
+	sc.Counter("core.sweep.decide.memo_hits").Add(s.nDecideMemoHits)
+	sc.Counter("core.sweep.decide.inner").Add(s.nDecideInner)
+	sc.Counter("core.sweep.lang.evals").Add(s.nLangEvals)
+	sc.Counter("core.sweep.lang.memo_hits").Add(s.nLangMemoHits)
 }
 
 // newLabelSweep extracts one view template per node of inst. The returned
@@ -48,10 +73,10 @@ func newLabelSweep(d Decoder, lang Language, inst Instance, alphabet []string) (
 	n := inst.G.N()
 	s := &labelSweep{
 		d: d, lang: lang, inst: inst, alphabet: alphabet,
-		tpl:    make([]*view.Template, n),
-		pows:   make([][]uint64, n),
-		memo:   make([]map[uint64]bool, n),
-		smemo:  make([]map[string]bool, n),
+		tpl:      make([]*view.Template, n),
+		pows:     make([][]uint64, n),
+		memo:     make([]map[uint64]bool, n),
+		smemo:    make([]map[string]bool, n),
 		labels:   make([]string, n),
 		acc:      make([]int, 0, n),
 		langMemo: make(map[uint64]bool),
@@ -101,6 +126,7 @@ func (s *labelSweep) check(idx []int) error {
 	return s.verify(s.labels, func(v int) bool {
 		t := s.tpl[v]
 		if s.memo[v] == nil {
+			s.nDecideInner++
 			return s.d.Decide(t.Instantiate(s.labels))
 		}
 		rank := uint64(0)
@@ -108,8 +134,10 @@ func (s *labelSweep) check(idx []int) error {
 			rank += uint64(idx[w]) * s.pows[v][i]
 		}
 		if out, ok := s.memo[v][rank]; ok {
+			s.nDecideMemoHits++
 			return out
 		}
+		s.nDecideInner++
 		out := s.d.Decide(t.Instantiate(s.labels))
 		s.memo[v][rank] = out
 		return out
@@ -128,8 +156,10 @@ func (s *labelSweep) checkLabels(labels []string) error {
 		}
 		s.keyBuf = kb
 		if out, ok := s.smemo[v][string(kb)]; ok {
+			s.nDecideMemoHits++
 			return out
 		}
+		s.nDecideInner++
 		out := s.d.Decide(t.Instantiate(labels))
 		s.smemo[v][string(kb)] = out
 		return out
@@ -137,9 +167,11 @@ func (s *labelSweep) checkLabels(labels []string) error {
 }
 
 func (s *labelSweep) verify(labels []string, decide func(v int) bool) error {
+	s.nChecked++
 	acc := s.acc[:0]
 	var mask uint64
 	for v := range s.tpl {
+		s.nDecide++
 		if decide(v) {
 			acc = append(acc, v)
 			mask |= 1 << uint(v&63)
@@ -150,7 +182,10 @@ func (s *labelSweep) verify(labels []string, decide func(v int) bool) error {
 	if s.useMask {
 		ok, hit = s.langMemo[mask]
 	}
-	if !hit {
+	if hit {
+		s.nLangMemoHits++
+	} else {
+		s.nLangEvals++
 		sub, _ := s.inst.G.InducedSubgraph(acc)
 		ok = s.lang.Contains(sub)
 		if s.useMask {

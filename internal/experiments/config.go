@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"hidinglcp/internal/obs"
 )
 
 // parallelism holds the shard/worker counts the experiment drivers pass to
@@ -32,6 +34,29 @@ func parShardsWorkers() (int, int) {
 	return parallelism.shards, parallelism.workers
 }
 
+// obsScope holds the observability scope the experiment drivers report
+// into. The zero Scope (the default) makes every instrument call a no-op,
+// and a live scope never changes table contents — only what is measured
+// alongside them (pinned by cmd/experiments' golden test).
+var obsScope = struct {
+	mu sync.Mutex
+	sc obs.Scope
+}{}
+
+// SetScope configures the observability scope used by the experiment
+// drivers (cmd/experiments -metrics-json/-trace/-progress).
+func SetScope(sc obs.Scope) {
+	obsScope.mu.Lock()
+	defer obsScope.mu.Unlock()
+	obsScope.sc = sc
+}
+
+func scope() obs.Scope {
+	obsScope.mu.Lock()
+	defer obsScope.mu.Unlock()
+	return obsScope.sc
+}
+
 // parallelEach runs fn(0..n-1) on the configured number of workers. fn must
 // be safe for concurrent calls on distinct indices; any aggregation across
 // indices is the caller's job and must be order-insensitive (or sorted
@@ -44,6 +69,7 @@ func parallelEach(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	defer scope().Counter("experiments.parallel_each.items").Add(int64(n))
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

@@ -47,12 +47,13 @@ func E3DegreeOne() Table {
 	// Exhaustive strong soundness on every connected graph up to n = 4,
 	// each 4^n labeling space searched in labeling-prefix shards.
 	shards, workers := parShardsWorkers()
+	sc := scope().Named("E3")
 	checked := 0
 	for n := 2; n <= 4; n++ {
 		graph.EnumConnectedGraphs(n, func(g *graph.Graph) bool {
 			checked++
 			inst := core.NewAnonymousInstance(g.Clone())
-			if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet(), shards, workers); err != nil {
+			if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet(), shards, workers); err != nil {
 				t.Err = err
 				return false
 			}
@@ -67,7 +68,7 @@ func E3DegreeOne() Table {
 	rng := rand.New(rand.NewSource(1))
 	gen := func(_ int, rng *rand.Rand) string { return decoders.DegOneAlphabet()[rng.Intn(4)] }
 	for _, g := range []*graph.Graph{graph.Petersen(), graph.Complete(5)} {
-		if err := core.FuzzStrongSoundnessParallel(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
+		if err := core.FuzzStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -75,7 +76,7 @@ func E3DegreeOne() Table {
 	t.AddRow("strong soundness (fuzz x500)", "Petersen, K5", "no violation")
 
 	// Hiding: exhaustive slice of V(D, 4), built shard-parallel.
-	ng, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...), shards, workers)
+	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

@@ -34,9 +34,10 @@ func E4EvenCycle() Table {
 	// alphabet (16 well-formed certificates + garbage), searched in
 	// labeling-prefix shards.
 	shards, workers := parShardsWorkers()
+	sc := scope().Named("E4")
 	for _, n := range []int{3, 4} {
 		inst := core.NewAnonymousInstance(graph.MustCycle(n))
-		if err := core.ExhaustiveStrongSoundnessParallel(s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet(), shards, workers); err != nil {
+		if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet(), shards, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -47,7 +48,7 @@ func E4EvenCycle() Table {
 	alpha := decoders.EvenCycleAlphabet()
 	gen := func(_ int, rng *rand.Rand) string { return alpha[rng.Intn(len(alpha))] }
 	for _, g := range []*graph.Graph{graph.MustCycle(5), graph.MustCycle(7), graph.Petersen()} {
-		if err := core.FuzzStrongSoundnessParallel(s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
+		if err := core.FuzzStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, core.NewAnonymousInstance(g), 500, rng, gen, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -59,7 +60,7 @@ func E4EvenCycle() Table {
 		t.Err = err
 		return t
 	}
-	ng, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedFromLabeled(family...), shards, workers)
+	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedFromLabeled(family...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

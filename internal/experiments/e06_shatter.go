@@ -68,10 +68,11 @@ func E6Shatter() Table {
 	t.AddRow("completeness + max cert bits", "shatter-point sweep", sizes)
 
 	shards, workers := parShardsWorkers()
+	sc := scope().Named("E6")
 	rng := rand.New(rand.NewSource(4))
 	gen := decoders.MalformedShatterLabels(12, 4)
 	for _, g := range []*graph.Graph{graph.MustCycle(5), graph.Petersen(), graph.MustWatermelon([]int{2, 3})} {
-		if err := core.FuzzStrongSoundnessParallel(s.Decoder, s.Promise.Lang, core.NewInstance(g), 800, rng, gen, workers); err != nil {
+		if err := core.FuzzStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, core.NewInstance(g), 800, rng, gen, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -80,7 +81,7 @@ func E6Shatter() Table {
 
 	// Hiding via the paper's P8/P7 pair.
 	l1, l2 := decoders.ShatterHidingPair()
-	ng, err := nbhd.BuildSharded(s.Decoder, nbhd.ShardedFromLabeled(l1, l2), shards, workers)
+	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedFromLabeled(l1, l2), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"hidinglcp/internal/obs"
 )
 
 // Table is one experiment's result: a title, column headers, and rows of
@@ -68,8 +70,37 @@ type Runner struct {
 	Run  func() Table
 }
 
-// All returns every experiment in index order.
+// All returns every experiment in index order. Each runner is wrapped with
+// the package scope's instrumentation: a span per experiment, a duration
+// histogram, and completed/failed counters. With the default zero scope the
+// wrapper is a no-op and table contents are identical either way.
 func All() []Runner {
+	rs := allRunners()
+	for i := range rs {
+		rs[i].Run = instrumentRunner(rs[i].ID, rs[i].Name, rs[i].Run)
+	}
+	return rs
+}
+
+func instrumentRunner(id, name string, run func() Table) func() Table {
+	return func() Table {
+		sc := scope()
+		start := obs.Now()
+		span := sc.Span("experiment." + id)
+		span.SetAttr("name", name)
+		t := run()
+		span.End()
+		sc.Histogram("experiments.duration_ns").Observe(obs.Since(start))
+		if t.Err != nil {
+			sc.Counter("experiments.failed").Inc()
+		} else {
+			sc.Counter("experiments.completed").Inc()
+		}
+		return t
+	}
+}
+
+func allRunners() []Runner {
 	return []Runner{
 		{"E1", "r-forgetfulness and Lemma 2.1", E1Forgetful},
 		{"E2", "views and compatibility (Fig. 2)", E2Views},

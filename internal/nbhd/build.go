@@ -54,6 +54,13 @@ type builder struct {
 	// instantiation, canonicalization, and interning entirely.
 	tMemo  []map[string]view.Handle
 	keyBuf []byte
+
+	// Plain (non-atomic) tallies, private to the owning goroutine; the
+	// parallel driver reads them only after its WaitGroup barrier.
+	nInstances      int64 // labeled instances absorbed
+	nViews          int64 // views instantiated + interned (template-memo misses)
+	nTmplMemoHits   int64 // views served from the per-node label-key memo
+	nTemplatesBuilt int64 // template cache rebuilds (instance identity changed)
 }
 
 func newBuilder(d core.Decoder, md *core.MemoDecoder, in *view.Interner, where string) *builder {
@@ -76,6 +83,7 @@ func (b *builder) grow(n int) {
 
 // absorb folds one labeled instance into the builder.
 func (b *builder) absorb(l core.Labeled) {
+	b.nInstances++
 	ids := l.IDs
 	if b.anon {
 		// Anonymous decoders are keyed and decided on anonymized views;
@@ -100,6 +108,7 @@ func (b *builder) absorb(l core.Labeled) {
 		}
 		b.tEdges = l.G.Edges()
 		b.tG, b.tPrt, b.tNBound, b.tIDs = l.G, l.Prt, l.NBound, idsHead
+		b.nTemplatesBuilt++
 		b.tMemo = make([]map[string]view.Handle, n)
 		for v := range b.tMemo {
 			b.tMemo[v] = make(map[string]view.Handle)
@@ -117,9 +126,11 @@ func (b *builder) absorb(l core.Labeled) {
 		if h, ok := b.tMemo[v][string(kb)]; ok {
 			// The identical (template, neighborhood labels) pair was already
 			// interned and decided by this builder.
+			b.nTmplMemoHits++
 			handles = append(handles, h)
 			continue
 		}
+		b.nViews++
 		mu := t.Instantiate(l.Labels)
 		h := b.in.Intern(mu)
 		b.tMemo[v][string(kb)] = h

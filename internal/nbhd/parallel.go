@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/view"
 )
 
@@ -25,22 +26,87 @@ import (
 // output is bit-identical to Build's for every shard/worker count
 // (property-tested in shard_test.go).
 func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
+	return BuildShardedScoped(obs.Scope{}, d, se, shards, workers)
+}
+
+// BuildShardedScoped is BuildSharded reporting into an observability scope.
+// The instrumentation is barrier-harvested: each worker's builder keeps
+// plain per-goroutine tallies that are summed into the scope's counters only
+// after every worker has finished, and the shared interner/memo-decoder
+// statistics are read once at the end. Nothing atomic is added to the
+// per-instance hot path, which is how the instrumented build stays within
+// the <2% overhead budget pinned by BenchmarkBuildShardedObs. A zero Scope
+// degrades to exactly BuildSharded.
+//
+// Counters recorded (see DESIGN.md Section 8 for the full taxonomy):
+// nbhd.instances, nbhd.views.extracted, nbhd.views.template_memo_hits,
+// nbhd.templates.built, nbhd.intern.hits/misses, nbhd.decode.calls,
+// nbhd.decode.memo_hits, nbhd.decode.inner, nbhd.shards.done/stolen, plus
+// the nbhd.intern.classes and nbhd.views.accepting gauges and the
+// nbhd.build.duration_ns histogram.
+func BuildShardedScoped(sc obs.Scope, d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
 	shards, workers = resolveShardsWorkers(shards, workers)
+	start := obs.Now()
+	span := sc.Span(sc.Label("nbhd.build"))
+	span.SetAttr("shards", fmt.Sprint(shards))
+	span.SetAttr("workers", fmt.Sprint(workers))
+	defer span.End()
+	sc.Prog().StartPhase(sc.Label("build"), int64(shards))
+	defer sc.Prog().EndPhase()
+
 	in := view.NewInterner()
 	md := core.NewMemoDecoder(d, in)
 	parts := make([]*builder, workers)
 	for w := range parts {
 		parts[w] = newBuilder(d, md, in, "nbhd.BuildSharded")
 	}
-	err := ForEachShard(se, shards, workers, func(w int, l core.Labeled) bool {
+	sc.Prog().SetExtra(func() string {
+		return fmt.Sprintf("%d view classes", in.Len())
+	})
+	err := ForEachShardScoped(sc, se, shards, workers, func(w int, l core.Labeled) bool {
 		parts[w].absorb(l)
 		return true
 	})
 	if err != nil {
 		return nil, fmt.Errorf("enumerating instances: %w", err)
 	}
+	harvestBuildMetrics(sc, parts, in, md)
 	accepting, loops, edges := mergeBuilders(parts)
-	return assemble(in, accepting, loops, edges)
+	ng, err := assemble(in, accepting, loops, edges)
+	if err != nil {
+		return nil, err
+	}
+	sc.Gauge("nbhd.views.accepting").Set(int64(ng.Size()))
+	sc.Histogram("nbhd.build.duration_ns").Observe(obs.Since(start))
+	return ng, nil
+}
+
+// harvestBuildMetrics folds the per-builder tallies and the shared
+// interner/memo statistics into the scope. Called after the worker
+// WaitGroup barrier, so the plain builder fields are safely visible.
+func harvestBuildMetrics(sc obs.Scope, parts []*builder, in *view.Interner, md *core.MemoDecoder) {
+	if !sc.Enabled() {
+		return
+	}
+	var instances, views, tmplHits, templates int64
+	for _, p := range parts {
+		instances += p.nInstances
+		views += p.nViews
+		tmplHits += p.nTmplMemoHits
+		templates += p.nTemplatesBuilt
+	}
+	sc.Counter("nbhd.instances").Add(instances)
+	sc.Counter("nbhd.views.extracted").Add(views)
+	sc.Counter("nbhd.views.template_memo_hits").Add(tmplHits)
+	sc.Counter("nbhd.templates.built").Add(templates)
+	hits, misses := in.Stats()
+	sc.Counter("nbhd.intern.hits").Add(int64(hits))
+	sc.Counter("nbhd.intern.misses").Add(int64(misses))
+	sc.Gauge("nbhd.intern.classes").Set(int64(in.Len()))
+	calls, inner := md.Stats()
+	sc.Counter("nbhd.decode.calls").Add(int64(calls))
+	sc.Counter("nbhd.decode.memo_hits").Add(int64(calls - inner))
+	sc.Counter("nbhd.decode.inner").Add(int64(inner))
 }
 
 // BuildParallel is BuildSharded with the default shard count. It replaces

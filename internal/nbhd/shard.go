@@ -1,11 +1,13 @@
 package nbhd
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/obs"
 )
 
 // ShardedEnumerator describes a labeled-instance space that can be
@@ -176,8 +178,22 @@ func resolveShardsWorkers(shards, workers int) (int, int) {
 // When several shards fail, the error of the lowest-numbered failing shard
 // is reported, keeping the result independent of scheduling.
 func ForEachShard(se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
+	return ForEachShardScoped(obs.Scope{}, se, shards, workers, fn)
+}
+
+// ForEachShardScoped is ForEachShard reporting into an observability scope:
+// it counts completed and stolen shards (a steal is any claim beyond a
+// worker's first), advances the scope's progress phase by one per finished
+// shard, and emits a per-shard completion event when a tracer is attached.
+// A zero Scope makes every instrument call a nil-receiver no-op, so the
+// uninstrumented path keeps its exact historical behavior and cost.
+func ForEachShardScoped(sc obs.Scope, se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
 	shards, workers = resolveShardsWorkers(shards, workers)
 	enums := se.Shards(shards)
+	shardsDone := sc.Counter("nbhd.shards.done")
+	shardsStolen := sc.Counter("nbhd.shards.stolen")
+	sc.Gauge("nbhd.shards.total").Set(int64(len(enums)))
+	sc.Gauge("nbhd.workers").Set(int64(workers))
 	errs := make([]error, len(enums))
 	var next atomic.Int64
 	var stop atomic.Bool
@@ -186,11 +202,16 @@ func ForEachShard(se ShardedEnumerator, shards, workers int, fn func(worker int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			claimed := 0
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(enums) || stop.Load() {
 					return
 				}
+				if claimed > 0 {
+					shardsStolen.Inc()
+				}
+				claimed++
 				err := enums[i](func(l core.Labeled) bool {
 					if stop.Load() {
 						return false
@@ -206,6 +227,9 @@ func ForEachShard(se ShardedEnumerator, shards, workers int, fn func(worker int,
 					stop.Store(true)
 					return
 				}
+				shardsDone.Inc()
+				sc.Prog().Add(1)
+				sc.Event("shard.done", fmt.Sprintf("shard %d/%d on worker %d", i+1, len(enums), w))
 			}
 		}(w)
 	}

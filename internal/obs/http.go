@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+// expvarOnce guards the expvar publication: expvar.Publish panics on
+// duplicate names, and tests may start several debug servers.
+var expvarOnce sync.Once
+
+// currentRegistry is the registry the published expvar reads; swapped by
+// ServeDebug so the latest server's scope is the one exposed.
+var currentRegistry struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// (/debug/pprof/) and expvar (/debug/vars, including the registry's
+// metrics under "hidinglcp.metrics"). It returns the bound address (useful
+// with ":0") and a closer. The server runs until closed; profile it with
+//
+//	go tool pprof http://<addr>/debug/pprof/profile
+func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
+	currentRegistry.mu.Lock()
+	currentRegistry.reg = reg
+	currentRegistry.mu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("hidinglcp.metrics", expvar.Func(func() any {
+			currentRegistry.mu.Lock()
+			r := currentRegistry.reg
+			currentRegistry.mu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), srv.Close, nil
+}

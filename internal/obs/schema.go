@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ValidateJSON checks doc against a JSON Schema written in the small
+// draft-07 subset the run-manifest schema uses: type (string or list),
+// const, enum, required, properties, additionalProperties (boolean or
+// schema), items, and minimum. It exists so CI can validate manifests with
+// the stdlib alone; unsupported keywords are ignored, matching JSON
+// Schema's open-world semantics.
+func ValidateJSON(schemaDoc, doc []byte) error {
+	var schema, value any
+	if err := json.Unmarshal(schemaDoc, &schema); err != nil {
+		return fmt.Errorf("parsing schema: %w", err)
+	}
+	if err := json.Unmarshal(doc, &value); err != nil {
+		return fmt.Errorf("parsing document: %w", err)
+	}
+	return validate("$", schema, value)
+}
+
+func validate(path string, schema, value any) error {
+	s, ok := schema.(map[string]any)
+	if !ok {
+		// A boolean schema: true accepts everything, false nothing.
+		if b, isBool := schema.(bool); isBool {
+			if !b {
+				return fmt.Errorf("%s: disallowed by schema", path)
+			}
+			return nil
+		}
+		return fmt.Errorf("%s: unsupported schema shape %T", path, schema)
+	}
+
+	if c, ok := s["const"]; ok {
+		if !jsonEqual(c, value) {
+			return fmt.Errorf("%s: got %v, want constant %v", path, render(value), render(c))
+		}
+	}
+	if e, ok := s["enum"].([]any); ok {
+		found := false
+		for _, alt := range e {
+			if jsonEqual(alt, value) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: %v is not one of the allowed values %v", path, render(value), render(e))
+		}
+	}
+	if t, ok := s["type"]; ok {
+		if err := checkType(path, t, value); err != nil {
+			return err
+		}
+	}
+	if m, ok := s["minimum"].(float64); ok {
+		if n, isNum := value.(float64); isNum && n < m {
+			return fmt.Errorf("%s: %v is below the minimum %v", path, n, m)
+		}
+	}
+
+	switch v := value.(type) {
+	case map[string]any:
+		if req, ok := s["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := v[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := s["properties"].(map[string]any)
+		for name, pv := range v {
+			if ps, ok := props[name]; ok {
+				if err := validate(path+"."+name, ps, pv); err != nil {
+					return err
+				}
+				continue
+			}
+			switch ap := s["additionalProperties"].(type) {
+			case bool:
+				if !ap {
+					return fmt.Errorf("%s: unexpected property %q", path, name)
+				}
+			case map[string]any:
+				if err := validate(path+"."+name, ap, pv); err != nil {
+					return err
+				}
+			}
+		}
+	case []any:
+		if items, ok := s["items"]; ok {
+			for i, iv := range v {
+				if err := validate(fmt.Sprintf("%s[%d]", path, i), items, iv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkType matches value against a JSON Schema type name or list of names.
+func checkType(path string, t, value any) error {
+	var names []string
+	switch tt := t.(type) {
+	case string:
+		names = []string{tt}
+	case []any:
+		for _, alt := range tt {
+			if name, ok := alt.(string); ok {
+				names = append(names, name)
+			}
+		}
+	default:
+		return fmt.Errorf("%s: unsupported type keyword %v", path, t)
+	}
+	for _, name := range names {
+		if hasType(name, value) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: %v is not of type %s", path, render(value), strings.Join(names, "|"))
+}
+
+func hasType(name string, value any) bool {
+	switch name {
+	case "object":
+		_, ok := value.(map[string]any)
+		return ok
+	case "array":
+		_, ok := value.([]any)
+		return ok
+	case "string":
+		_, ok := value.(string)
+		return ok
+	case "boolean":
+		_, ok := value.(bool)
+		return ok
+	case "number":
+		_, ok := value.(float64)
+		return ok
+	case "integer":
+		n, ok := value.(float64)
+		return ok && n == math.Trunc(n)
+	case "null":
+		return value == nil
+	}
+	return false
+}
+
+// jsonEqual compares two unmarshaled JSON values structurally.
+func jsonEqual(a, b any) bool {
+	ab, errA := json.Marshal(a)
+	bb, errB := json.Marshal(b)
+	return errA == nil && errB == nil && string(ab) == string(bb)
+}
+
+// render abbreviates a value for error messages.
+func render(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	const limit = 120
+	if len(b) > limit {
+		return string(b[:limit]) + "..."
+	}
+	return string(b)
+}

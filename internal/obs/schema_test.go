@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const testSchema = `{
+  "type": "object",
+  "required": ["schema", "metrics"],
+  "additionalProperties": false,
+  "properties": {
+    "schema": {"const": "v1"},
+    "outcome": {"enum": ["ok", "error"]},
+    "count": {"type": "integer", "minimum": 0},
+    "config": {"type": "object", "additionalProperties": {"type": "string"}},
+    "metrics": {
+      "type": "array",
+      "items": {
+        "type": "object",
+        "required": ["name"],
+        "properties": {"name": {"type": "string"}}
+      }
+    }
+  }
+}`
+
+func TestValidateJSONAccepts(t *testing.T) {
+	doc := `{
+	  "schema": "v1",
+	  "outcome": "ok",
+	  "count": 3,
+	  "config": {"shards": "16"},
+	  "metrics": [{"name": "a"}, {"name": "b"}]
+	}`
+	if err := ValidateJSON([]byte(testSchema), []byte(doc)); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"missing required", `{"schema": "v1"}`, "missing required property"},
+		{"wrong const", `{"schema": "v2", "metrics": []}`, "want constant"},
+		{"bad enum", `{"schema": "v1", "metrics": [], "outcome": "meh"}`, "not one of the allowed values"},
+		{"non-integer", `{"schema": "v1", "metrics": [], "count": 1.5}`, "not of type integer"},
+		{"below minimum", `{"schema": "v1", "metrics": [], "count": -1}`, "below the minimum"},
+		{"extra property", `{"schema": "v1", "metrics": [], "bogus": 1}`, "unexpected property"},
+		{"bad additionalProperties schema", `{"schema": "v1", "metrics": [], "config": {"k": 5}}`, "not of type string"},
+		{"bad item", `{"schema": "v1", "metrics": [{"nope": 1}]}`, "missing required property"},
+		{"malformed document", `{`, "parsing document"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateJSON([]byte(testSchema), []byte(tc.doc))
+			if err == nil {
+				t.Fatal("invalid document accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateJSONTypeList(t *testing.T) {
+	schema := `{"type": ["integer", "null"]}`
+	if err := ValidateJSON([]byte(schema), []byte(`7`)); err != nil {
+		t.Errorf("integer rejected by type list: %v", err)
+	}
+	if err := ValidateJSON([]byte(schema), []byte(`null`)); err != nil {
+		t.Errorf("null rejected by type list: %v", err)
+	}
+	if err := ValidateJSON([]byte(schema), []byte(`"s"`)); err == nil {
+		t.Error("string accepted by integer|null type list")
+	}
+}

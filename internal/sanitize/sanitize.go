@@ -16,6 +16,11 @@
 //     rekeying of the port map (catches dependence on extraction order).
 //   - Anonymity: a decoder with Anonymous() == true must decide identically
 //     on the identifier-erased view.
+//   - Instrumentation transparency: a counting wrapper around the decoder
+//     (core.InstrumentDecoder with a live obs scope) must return the same
+//     verdict as the plain decoder — observability is one-directional, so
+//     switching metrics on must never change a decision. The static half of
+//     this rule is the obspurity analyzer in internal/analysis.
 //   - Order-invariance (opt-in, Config.OrderInvariant): order-preserving
 //     identifier remaps via orderinv.RemapViewIDs must not change the
 //     answer. Off by default because schemes that embed identifiers in
@@ -32,6 +37,7 @@ import (
 	"reflect"
 
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/orderinv"
 	"hidinglcp/internal/view"
 )
@@ -72,7 +78,7 @@ func (c Config) withDefaults() Config {
 // Violation describes one detected contract breach.
 type Violation struct {
 	// Check names the probe that diverged: "repeat", "mutation",
-	// "relabeling", "anonymity", or "order-invariance".
+	// "relabeling", "anonymity", "instrumentation", or "order-invariance".
 	Check string
 	// Detail is a human-readable account of the divergence.
 	Detail string
@@ -94,6 +100,11 @@ type Sanitizer struct {
 	cfg   Config
 	rng   *rand.Rand
 	count int
+	// instr is inner wrapped by core.InstrumentDecoder with a live scope;
+	// probes compare its verdicts against inner's to prove the metrics
+	// layer never feeds back into decisions.
+	instr       core.Decoder
+	instrProbes *obs.Counter
 }
 
 var _ core.Decoder = (*Sanitizer)(nil)
@@ -101,10 +112,13 @@ var _ core.Decoder = (*Sanitizer)(nil)
 // Wrap builds a sanitizing decoder around d.
 func Wrap(d core.Decoder, cfg Config) *Sanitizer {
 	cfg = cfg.withDefaults()
+	sc := obs.NewScope()
 	return &Sanitizer{
-		inner: d,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		inner:       d,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		instr:       core.InstrumentDecoder(d, sc, "sanitize.probe"),
+		instrProbes: sc.Counter("sanitize.probe.decide.calls"),
 	}
 }
 
@@ -116,6 +130,11 @@ func (s *Sanitizer) Anonymous() bool { return s.inner.Anonymous() }
 
 // Decisions returns the number of Decide calls sanitized so far.
 func (s *Sanitizer) Decisions() int { return s.count }
+
+// InstrumentationProbes returns how many times the instrumented copy of the
+// decoder has been invoked, i.e. how often the instrumentation-transparency
+// probe actually ran.
+func (s *Sanitizer) InstrumentationProbes() int64 { return s.instrProbes.Value() }
 
 // Decide forwards to the wrapped decoder and probes the call. On a clean
 // decoder it is output-equivalent to the wrapped Decide.
@@ -130,6 +149,10 @@ func (s *Sanitizer) Decide(mu *view.View) bool {
 	if !viewsDeepEqual(mu, snap) {
 		s.violate("mutation", mu, "Decide mutated its view argument")
 		// Continue probing against the pristine snapshot.
+	}
+	if got := s.instr.Decide(snap.Clone()); got != out {
+		s.violate("instrumentation", mu, fmt.Sprintf(
+			"instrumented decoder returned %v where the plain decoder returned %v; enabling metrics must not change verdicts", got, out))
 	}
 	for i := 0; i < s.cfg.Repeats; i++ {
 		if got := s.inner.Decide(snap.Clone()); got != out {

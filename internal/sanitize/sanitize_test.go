@@ -8,6 +8,7 @@ import (
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/graph"
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/orderinv"
 	"hidinglcp/internal/sanitize"
 	"hidinglcp/internal/view"
@@ -144,6 +145,18 @@ func (d *idPeekingDecoder) Decide(mu *view.View) bool {
 	return mu.IDs[0] > 0
 }
 
+// obsReadingDecoder branches on a live metric it also bumps — the exact
+// feedback loop the instrumentation probe (and, statically, the obspurity
+// analyzer) forbids: its verdict depends on how often the pipeline ran.
+type obsReadingDecoder struct{ hits *obs.Counter }
+
+func (d *obsReadingDecoder) Rounds() int     { return 1 }
+func (d *obsReadingDecoder) Anonymous() bool { return true }
+func (d *obsReadingDecoder) Decide(mu *view.View) bool {
+	d.hits.Inc()
+	return d.hits.Value()%2 == 0
+}
+
 // idParityDecoder is honestly non-anonymous but not order-invariant: it
 // branches on identifier parity, which order-preserving remaps change.
 type idParityDecoder struct{}
@@ -202,6 +215,12 @@ func TestCatchesExtractionOrderDependence(t *testing.T) {
 	// "b", so some relabeling probe swaps them and flips the output.
 	vs := runCollecting(t, &orderDependentDecoder{}, probeView(t, nil), sanitize.Config{Relabelings: 8})
 	requireCheck(t, vs, "relabeling")
+}
+
+func TestCatchesInstrumentationDivergence(t *testing.T) {
+	d := &obsReadingDecoder{hits: obs.NewScope().Counter("test.hits")}
+	vs := runCollecting(t, d, probeView(t, nil), sanitize.Config{})
+	requireCheck(t, vs, "instrumentation")
 }
 
 func TestCatchesAnonymityViolation(t *testing.T) {
@@ -267,5 +286,8 @@ func TestCleanDecoderForwardsTransparently(t *testing.T) {
 	}
 	if san.Decisions() != g.N() {
 		t.Errorf("sanitizer probed %d decisions, want %d", san.Decisions(), g.N())
+	}
+	if got := san.InstrumentationProbes(); got != int64(g.N()) {
+		t.Errorf("instrumentation probe ran %d times, want once per decision (%d)", got, g.N())
 	}
 }

@@ -106,10 +106,10 @@ func TestBinKeyPartitionPortsAndDuplicateIDs(t *testing.T) {
 	})
 	pt := graph.DefaultPorts(g)
 	idCases := []graph.IDs{
-		{7, 7, 3, 5},  // duplicate nonzero: disables the idOrder fast path
-		{0, 1, 2, 3},  // zero mixed in
-		{9, 8, 7, 6},  // descending
-		{1, 2, 3, 4},  // ascending
+		{7, 7, 3, 5}, // duplicate nonzero: disables the idOrder fast path
+		{0, 1, 2, 3}, // zero mixed in
+		{9, 8, 7, 6}, // descending
+		{1, 2, 3, 4}, // ascending
 	}
 	for _, ids := range idCases {
 		for nb := 4; nb <= 5; nb++ {

@@ -43,6 +43,12 @@ type Interner struct {
 	mu     sync.Mutex
 	n      atomic.Uint32
 	chunks [internMaxChunks]atomic.Pointer[internChunk]
+
+	// hits counts Intern calls that found an existing class; misses counts
+	// first-sight interns. Kept as plain relaxed atomics so instrumented and
+	// uninstrumented builds take the same code path.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewInterner returns an empty interner.
@@ -63,13 +69,16 @@ func (it *Interner) Intern(mu *View) Handle {
 	h, ok := s.m[string(k)] // compiler avoids the []byte→string copy for map reads
 	s.mu.RUnlock()
 	if ok {
+		it.hits.Add(1)
 		return h
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h, ok := s.m[string(k)]; ok {
+		it.hits.Add(1)
 		return h
 	}
+	it.misses.Add(1)
 	it.mu.Lock()
 	h = Handle(it.n.Load())
 	c := h >> internChunkBits
@@ -101,6 +110,13 @@ func (it *Interner) Lookup(mu *View) (Handle, bool) {
 
 // Len returns the number of distinct view classes interned so far.
 func (it *Interner) Len() int { return int(it.n.Load()) }
+
+// Stats reports how many Intern calls found an existing class (hits) and
+// how many assigned a new handle (misses). Safe to call concurrently with
+// Intern; the two values are read independently and may be one call apart.
+func (it *Interner) Stats() (hits, misses uint64) {
+	return it.hits.Load(), it.misses.Load()
+}
 
 // ViewOf returns the representative view of handle h. h must have been
 // returned by Intern on this interner.
