@@ -6,7 +6,8 @@
 // library's go/ast, go/parser, and go/types so the linter works offline
 // with no external modules.
 //
-// Five analyzers are provided (see All):
+// Ten analyzers are provided (see All). Five enforce the determinism
+// contract:
 //
 //   - decoderpurity: a Decide method must not write receiver fields,
 //     package-level variables, or mutate its *view.View argument.
@@ -20,6 +21,24 @@
 //   - obspurity: a Decide body must not read the clock or call into the
 //     observability layer (internal/obs); metrics flow out of the
 //     pipelines, never back into verdicts.
+//
+// One enforces the hiding contract:
+//
+//   - certflow: interprocedural taint analysis from certificate sources
+//     (view/Labeled label fields, canonical keys, Certify results) to
+//     observability and logging sinks; raw label bytes must never become
+//     observable — only lengths and digests (obs.Redact*, view.KeyDigest).
+//
+// And four audit the concurrent pipelines:
+//
+//   - atomicmix: a location accessed through sync/atomic must never also
+//     be accessed plainly.
+//   - mutexcopy: values containing sync primitives or typed atomics must
+//     not be copied (by-value parameters, receivers, assignments, range
+//     clauses).
+//   - loopcapture: goroutines spawned in a loop take their iteration state
+//     as arguments, never by capture.
+//   - wgmisuse: WaitGroup.Add precedes the go statement it accounts for.
 //
 // The analyzers run over packages loaded by Load (backed by `go list` and
 // the go/types source importer) and are wired into the cmd/lcplint
@@ -92,6 +111,11 @@ func All() []*Analyzer {
 		NondetAnalyzer,
 		AnonIDAnalyzer,
 		ObsPurityAnalyzer,
+		CertflowAnalyzer,
+		AtomicMixAnalyzer,
+		MutexCopyAnalyzer,
+		LoopCaptureAnalyzer,
+		WGMisuseAnalyzer,
 	}
 }
 

@@ -30,6 +30,26 @@ func TestObsPurity(t *testing.T) {
 	analysistest.Run(t, "testdata", "obspurity", analysis.ObsPurityAnalyzer)
 }
 
+func TestCertflow(t *testing.T) {
+	analysistest.Run(t, "testdata", "certflow", analysis.CertflowAnalyzer)
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", "atomicmix", analysis.AtomicMixAnalyzer)
+}
+
+func TestMutexCopy(t *testing.T) {
+	analysistest.Run(t, "testdata", "mutexcopy", analysis.MutexCopyAnalyzer)
+}
+
+func TestLoopCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", "loopcapture", analysis.LoopCaptureAnalyzer)
+}
+
+func TestWGMisuse(t *testing.T) {
+	analysistest.Run(t, "testdata", "wgmisuse", analysis.WGMisuseAnalyzer)
+}
+
 func TestAllListsEveryAnalyzer(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -41,7 +61,10 @@ func TestAllListsEveryAnalyzer(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"decoderpurity", "maporder", "nondet", "anonid", "obspurity"} {
+	for _, want := range []string{
+		"decoderpurity", "maporder", "nondet", "anonid", "obspurity",
+		"certflow", "atomicmix", "mutexcopy", "loopcapture", "wgmisuse",
+	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)
 		}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCaptureAnalyzer reports goroutines launched inside a loop whose
+// function literal captures loop state instead of receiving it as an
+// argument. Two cases:
+//
+//   - Capture of the loop clause variable itself (the range key/value or
+//     the for-init variable). Since Go 1.22 each iteration gets a fresh
+//     binding, so this is no longer the classic last-value race — but the
+//     fan-out code in this repository (shard builders, parallel soundness
+//     workers) standardizes on the explicit-argument idiom `go func(w int)
+//     {...}(w)`: the binding survives refactors that hoist the variable
+//     out of the clause, and the goroutine's inputs are visible at the go
+//     statement.
+//
+//   - Capture of a variable declared outside the loop and written inside
+//     its body. That one is a genuine data race in every Go version: the
+//     goroutine's reads run concurrently with the next iteration's write.
+var LoopCaptureAnalyzer = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "report loop variables captured by goroutines spawned in the loop; pass them as arguments",
+	Run:  runLoopCapture,
+}
+
+func runLoopCapture(pass *Pass) error {
+	for _, file := range pass.Files {
+		lc := &loopCapture{pass: pass}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ForStmt:
+				lc.walkLoop(node, node.Init, node.Body)
+				return false
+			case *ast.RangeStmt:
+				lc.walkLoop(node, node, node.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type loopStat struct {
+	node       ast.Node
+	clauseVars map[types.Object]bool
+	bodyWrites map[types.Object]bool
+}
+
+type loopCapture struct {
+	pass  *Pass
+	loops []*loopStat
+}
+
+// walkLoop pushes one loop's clause variables and body-write set, scans
+// the body (recursing into nested loops), and pops.
+func (lc *loopCapture) walkLoop(loop ast.Node, clause ast.Node, body *ast.BlockStmt) {
+	st := &loopStat{
+		node:       loop,
+		clauseVars: map[types.Object]bool{},
+		bodyWrites: map[types.Object]bool{},
+	}
+	switch c := clause.(type) {
+	case *ast.AssignStmt: // for i := 0; ...
+		if c.Tok == token.DEFINE {
+			for _, l := range c.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					if obj := lc.pass.Info.Defs[id]; obj != nil {
+						st.clauseVars[obj] = true
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt: // for k, v := range ...
+		for _, e := range []ast.Expr{c.Key, c.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := lc.pass.Info.Defs[id]; obj != nil {
+					st.clauseVars[obj] = true
+				}
+			}
+		}
+	}
+	lc.collectBodyWrites(st, body)
+	lc.loops = append(lc.loops, st)
+	lc.walkBody(body)
+	lc.loops = lc.loops[:len(lc.loops)-1]
+}
+
+// collectBodyWrites records loop-body assignments to variables declared
+// outside the loop — the shared mutable state a spawned goroutine must not
+// read unsynchronized.
+func (lc *loopCapture) collectBodyWrites(st *loopStat, body *ast.BlockStmt) {
+	record := func(expr ast.Expr) {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := lc.pass.Info.Uses[id]
+		if obj == nil {
+			return
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		if obj.Pos() < st.node.Pos() || obj.Pos() > st.node.End() {
+			st.bodyWrites[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range node.Lhs {
+				record(l)
+			}
+		case *ast.IncDecStmt:
+			record(node.X)
+		}
+		return true
+	})
+}
+
+// walkBody scans loop-body statements, reporting go-statement literals and
+// recursing into nested loops with the stack maintained.
+func (lc *loopCapture) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ForStmt:
+			lc.walkLoop(node, node.Init, node.Body)
+			return false
+		case *ast.RangeStmt:
+			lc.walkLoop(node, node, node.Body)
+			return false
+		case *ast.GoStmt:
+			if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+				lc.checkGoLit(lit)
+			}
+			// Arguments of the go statement evaluate before the goroutine
+			// starts; only the literal's captures matter.
+			return true
+		}
+		return true
+	})
+}
+
+// checkGoLit reports captures of enclosing-loop state inside a go-spawned
+// function literal.
+func (lc *loopCapture) checkGoLit(lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := lc.pass.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// Identifiers declared inside the literal are its own locals.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		for _, st := range lc.loops {
+			if st.clauseVars[obj] {
+				seen[obj] = true
+				lc.pass.Reportf(id.Pos(),
+					"goroutine launched in a loop captures the loop variable %s; pass it as an argument (go func(%s ...) {...}(%s)) like the other fan-out paths", obj.Name(), obj.Name(), obj.Name())
+				return true
+			}
+			if st.bodyWrites[obj] {
+				seen[obj] = true
+				lc.pass.Reportf(id.Pos(),
+					"goroutine captures %s, which the loop body writes each iteration; the read races with the next iteration's write — pass a copy as an argument", obj.Name())
+				return true
+			}
+		}
+		return true
+	})
+}

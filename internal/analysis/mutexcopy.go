@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopyAnalyzer reports values containing synchronization state —
+// sync.Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool, or any typed
+// atomic from sync/atomic — being copied: passed or returned by value,
+// assigned from an existing value, bound by a by-value range clause, or
+// held by a value method receiver. A copied lock is a fork of the lock
+// state: goroutines that synchronize on the copy and on the original are
+// not synchronizing with each other at all, which is precisely the failure
+// mode the sharded builders and the parallel soundness search cannot
+// afford. Constructing a fresh value (composite literal, call result) is
+// fine; duplicating a live one is not — pass a pointer.
+var MutexCopyAnalyzer = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "report sync primitives (mutexes, wait groups, typed atomics) copied by value",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, node.Recv, node.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, node.Type)
+			case *ast.AssignStmt:
+				if len(node.Lhs) == len(node.Rhs) {
+					for _, rhs := range node.Rhs {
+						checkCopyExpr(pass, rhs, "assignment copies")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					checkCopyExpr(pass, v, "declaration copies")
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					if lock := lockPath(pass.Info.TypeOf(node.Value)); lock != "" {
+						pass.Reportf(node.Value.Pos(),
+							"range clause copies a value containing %s per iteration; range over indices or pointers instead", lock)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range node.Results {
+					checkCopyExpr(pass, r, "return copies")
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.Info.Types[node.Fun]; ok && tv.IsType() {
+					return true
+				}
+				for _, arg := range node.Args {
+					checkCopyExpr(pass, arg, "call passes")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncSig flags by-value receivers, parameters, and results whose
+// types contain a lock.
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+	kinds := []string{"receiver", "parameter", "result"}
+	for i, list := range lists {
+		if list == nil {
+			continue
+		}
+		for _, field := range list.List {
+			t := pass.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lock := lockPath(t); lock != "" {
+				pass.Reportf(field.Type.Pos(),
+					"by-value %s copies a value containing %s; use a pointer", kinds[i], lock)
+			}
+		}
+	}
+}
+
+// checkCopyExpr flags expr when it duplicates an existing lock-bearing
+// value: a read of a variable, field, element, or dereference. Fresh
+// values — composite literals, call results, conversions — are first
+// copies, not forks, and pass.
+func checkCopyExpr(pass *Pass, expr ast.Expr, verb string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.Info.TypeOf(expr)
+	if t == nil {
+		return
+	}
+	if lock := lockPath(t); lock != "" {
+		pass.Reportf(expr.Pos(), "%s a value containing %s; use a pointer", verb, lock)
+	}
+}
+
+// lockPath reports the first synchronization primitive embedded (by value,
+// transitively through structs and arrays) in t, or "" if none. Pointers,
+// slices, maps, channels, and interfaces break the chain: sharing a
+// pointer to a lock is the whole point.
+func lockPath(t types.Type) string {
+	return lockPathRec(t, map[types.Type]bool{})
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+		}
+		return lockPathRec(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockPathRec(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+// Package atomicmix exercises the mixed atomic/plain access analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+}
+
+var global int64
+
+// mixedField accesses hits both through sync/atomic and directly.
+func mixedField(c *counters) int64 {
+	atomic.AddInt64(&c.hits, 1)
+	c.hits++ // want "non-atomic access to field hits"
+	return c.hits // want "non-atomic access to field hits"
+}
+
+// mixedGlobal does the same to a package-level variable.
+func mixedGlobal() int64 {
+	atomic.StoreInt64(&global, 0)
+	global = 7 // want "non-atomic access to variable global"
+	return atomic.LoadInt64(&global)
+}
+
+// consistent uses sync/atomic for every access; nothing to report.
+func consistent(c *counters) int64 {
+	atomic.AddInt64(&c.misses, 1)
+	return atomic.LoadInt64(&c.misses)
+}
+
+// plainOnly never touches sync/atomic; plain access is fine.
+func plainOnly(c *counters) int64 {
+	c.plain++
+	return c.plain
+}
+
+// typed uses the typed wrappers, which make mixing inexpressible.
+type typed struct {
+	n atomic.Int64
+}
+
+func typedOnly(t *typed) int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// suppressed documents a deliberate pre-publication write.
+func suppressed(c *counters) {
+	//lint:ignore atomicmix the struct is not yet shared; constructor-time write precedes publication
+	c.hits = 0
+	atomic.AddInt64(&c.hits, 1)
+}

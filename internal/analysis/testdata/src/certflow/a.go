@@ -1,0 +1,103 @@
+// Package certflow exercises the hiding-contract taint analyzer: flows
+// from certificate sources (view labels, canonical keys, Certify results)
+// into observability and logging sinks, with and without sanitization.
+package certflow
+
+import (
+	"fmt"
+	"strings"
+
+	"core"
+	"obs"
+	"view"
+)
+
+// directFieldLeak: a raw label read reaches a span attribute.
+func directFieldLeak(sp *obs.Span, mu *view.View) {
+	sp.SetAttr("first", mu.Labels[0]) // want "certificate-tainted value flows into observability sink obs.Span.SetAttr"
+}
+
+// keyLeak: the canonical key embeds label bytes; printing it is a leak.
+func keyLeak(mu *view.View) {
+	fmt.Println(mu.Key()) // want "certificate-tainted value flows into fmt.Println output"
+}
+
+// certifyLeak: prover output is a certificate assignment; an error built
+// from it would cross the CLI boundary onto stderr.
+func certifyLeak(p core.Prover, inst core.Instance) error {
+	labels, _ := p.Certify(inst)
+	return fmt.Errorf("bad labels %v", labels) // want "certificate-tainted value flows into an error message"
+}
+
+// formattedLeak: taint survives string formatting and concatenation.
+func formattedLeak(sc obs.Scope, l core.Labeled) {
+	detail := "labels: " + strings.Join(l.Labels, ",")
+	sc.Event("dump", fmt.Sprintf("got %s", detail)) // want "certificate-tainted value flows into observability sink obs.Scope.Event"
+}
+
+// helper forwards its argument into a manifest field; certflow summarizes
+// the flow and reports at the tainted call site.
+func helper(m *obs.RunManifest, s string) {
+	m.SetConfig("labels", s)
+}
+
+func interproceduralLeak(m *obs.RunManifest, mu *view.View) {
+	helper(m, mu.Labels[0]) // want "certificate-tainted value flows into call to helper"
+}
+
+// closureLeak: a tainted callback handed to the progress reporter leaks
+// on every status line.
+func closureLeak(p *obs.Progress, mu *view.View) {
+	p.SetExtra(func() string { return mu.Key() }) // want "certificate-tainted value flows into observability sink obs.Progress.SetExtra"
+}
+
+// panicLeak: the panic argument lands on stderr with the crash dump.
+func panicLeak(mu *view.View) {
+	panic("bad view " + mu.Labels[0]) // want "certificate-tainted value flows into panic"
+}
+
+// redactedFlow is the sanctioned shape: lengths and digests only.
+func redactedFlow(sp *obs.Span, sc obs.Scope, mu *view.View, l core.Labeled) {
+	sp.SetAttr("labels", obs.RedactStrings(mu.Labels))
+	sp.SetAttr("key", mu.KeyDigest())
+	sc.Event("sizes", fmt.Sprintf("n=%d first=%d", len(l.Labels), len(mu.Labels[0])))
+}
+
+// countsAreClean: numeric conversions and indices carry no bytes.
+func countsAreClean(sc obs.Scope, l core.Labeled) {
+	total := 0
+	for i, s := range l.Labels {
+		total += i + len(s)
+	}
+	sc.Event("total", fmt.Sprint(total))
+}
+
+// errorsAreClean: an error that got past construction carries no label
+// bytes (certflow flags the construction, not the hand-off).
+func errorsAreClean(p core.Prover, inst core.Instance) {
+	_, err := p.Certify(inst)
+	if err != nil {
+		fmt.Println(err)
+	}
+}
+
+// builderIsNotASink: fmt.Fprintf into a strings.Builder constructs a
+// string; the taint follows the builder instead of being reported...
+func builderIsNotASink(mu *view.View) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key=%s", mu.Key())
+	return b.String()
+}
+
+// ...and reading the builder back out re-surfaces it at a real sink.
+func builderTaintResurfaces(mu *view.View) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "key=%s", mu.Key())
+	fmt.Println(b.String()) // want "certificate-tainted value flows into fmt.Println output"
+}
+
+// suppressed: the operator explicitly asked for the raw bytes.
+func suppressed(mu *view.View) {
+	//lint:ignore certflow fixture demonstrates a documented operator-requested dump
+	fmt.Println(mu.Labels[0])
+}

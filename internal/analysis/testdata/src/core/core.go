@@ -26,3 +26,19 @@ func NewDecoder(rounds int, anonymous bool, decide func(mu *view.View) bool) Dec
 func (d *decoderFunc) Rounds() int               { return d.r }
 func (d *decoderFunc) Anonymous() bool           { return d.anon }
 func (d *decoderFunc) Decide(mu *view.View) bool { return d.decide(mu) }
+
+// Instance mirrors the real unlabeled instance.
+type Instance struct{ N int }
+
+// Labeled mirrors the real instance-plus-certificates pair; certflow
+// treats its Labels field as a certificate source.
+type Labeled struct {
+	Instance
+	Labels []string
+}
+
+// Prover mirrors the real certificate generator; certflow treats Certify
+// results as certificate sources.
+type Prover interface {
+	Certify(inst Instance) ([]string, error)
+}

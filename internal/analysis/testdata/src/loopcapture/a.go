@@ -1,0 +1,101 @@
+// Package loopcapture exercises the loop-variable capture analyzer.
+package loopcapture
+
+import "sync"
+
+func work(int) {}
+
+// capturesRangeVar spawns goroutines that close over the range variable
+// instead of taking it as an argument.
+func capturesRangeVar(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it) // want "goroutine launched in a loop captures the loop variable it"
+		}()
+	}
+	wg.Wait()
+}
+
+// capturesIndexVar does the same with a classic counted loop.
+func capturesIndexVar(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i) // want "goroutine launched in a loop captures the loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+// capturesLoopWrite races: cur is written each iteration and read
+// concurrently by the goroutine.
+func capturesLoopWrite(items []int) {
+	var wg sync.WaitGroup
+	var cur int
+	for _, it := range items {
+		cur = it * 2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(cur) // want "goroutine captures cur, which the loop body writes each iteration"
+		}()
+	}
+	wg.Wait()
+}
+
+// explicitArgument is the sanctioned fan-out shape used by the shard
+// builders; nothing to report.
+func explicitArgument(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			work(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+// outsideLoop: a goroutine outside any loop may capture what it likes.
+func outsideLoop(x int) {
+	done := make(chan struct{})
+	go func() {
+		work(x)
+		close(done)
+	}()
+	<-done
+}
+
+// loopLocal: a variable declared inside the loop body is per-iteration
+// state, not shared; nothing to report.
+func loopLocal(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		doubled := it * 2
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			work(v)
+		}(doubled)
+	}
+	wg.Wait()
+}
+
+// suppressed documents a deliberate capture behind a same-iteration wait.
+func suppressed(items []int) {
+	for _, it := range items {
+		done := make(chan struct{})
+		go func() {
+			//lint:ignore loopcapture the loop blocks on done before the next iteration, so the capture cannot race
+			work(it)
+			close(done)
+		}()
+		<-done
+	}
+}

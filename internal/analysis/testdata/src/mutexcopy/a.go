@@ -1,0 +1,76 @@
+// Package mutexcopy exercises the lock-copy analyzer.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct {
+	inner guarded
+}
+
+// byValueParam copies the caller's lock on every call.
+func byValueParam(g guarded) int { // want "by-value parameter copies a value containing sync.Mutex"
+	return g.n
+}
+
+// byValueReceiver copies the lock on every method call.
+func (g guarded) byValueReceiver() int { // want "by-value receiver copies a value containing sync.Mutex"
+	return g.n
+}
+
+// assignCopy forks the lock state of an existing value.
+func assignCopy(g *guarded) {
+	snapshot := *g // want "assignment copies a value containing sync.Mutex"
+	_ = snapshot.n
+}
+
+// callCopy passes the lock by value at the call site too.
+func callCopy(g *guarded) int {
+	return byValueParam(*g) // want "call passes a value containing sync.Mutex"
+}
+
+// transitive locks are found through embedded structs.
+func transitive(w wrapper) { // want "by-value parameter copies a value containing sync.Mutex"
+}
+
+// rangeCopy duplicates each element's lock into the loop variable.
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range clause copies a value containing sync.Mutex"
+		total += g.n
+	}
+	return total
+}
+
+// pointers share the lock instead of copying it; nothing to report.
+func pointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// freshValue initializes a new lock; a first copy is not a fork.
+func freshValue() *guarded {
+	g := guarded{}
+	return &g
+}
+
+// indexPointer iterates by index to avoid the copy.
+func indexPointer(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// suppressed documents a deliberate copy of a never-used zero lock.
+func suppressed(g *guarded) {
+	//lint:ignore mutexcopy the copy is of a documented never-locked zero value
+	dup := *g
+	_ = dup.n
+}

@@ -21,5 +21,35 @@ type Scope struct{}
 // Counter returns the named counter.
 func (s Scope) Counter(name string) *Counter { return &Counter{} }
 
+// Event mirrors the real trace-event emitter; a certflow sink.
+func (s Scope) Event(name, detail string) {}
+
+// Span mirrors the real trace span.
+type Span struct{}
+
+// Span opens a child span.
+func (s Scope) Span(name string) *Span { return &Span{} }
+
+// SetAttr attaches an attribute to the span; a certflow sink.
+func (sp *Span) SetAttr(key, value string) {}
+
+// RunManifest mirrors the real JSON run manifest.
+type RunManifest struct{}
+
+// SetConfig records a config key; a certflow sink.
+func (m *RunManifest) SetConfig(key, value string) {}
+
+// Progress mirrors the real progress reporter.
+type Progress struct{}
+
+// SetExtra installs a status-line callback; a certflow sink.
+func (p *Progress) SetExtra(f func() string) {}
+
+// RedactString mirrors the real redactor; a certflow sanitizer.
+func RedactString(s string) string { return "" }
+
+// RedactStrings mirrors the real labeling redactor; a certflow sanitizer.
+func RedactStrings(ss []string) string { return "" }
+
 // Now mirrors the real package's sanctioned clock read.
 func Now() int64 { return 0 }

@@ -29,3 +29,19 @@ func (v *View) LocalNodeWithID(id int) int {
 	}
 	return -1
 }
+
+// Key mirrors the real canonical serialization, which embeds the raw label
+// bytes; certflow treats its result as a certificate source.
+func (v *View) Key() string {
+	s := ""
+	for _, l := range v.Labels {
+		s += l
+	}
+	return s
+}
+
+// BinKey mirrors the binary canonical key; also a certflow source.
+func (v *View) BinKey() []byte { return []byte(v.Key()) }
+
+// KeyDigest mirrors the real redacted fingerprint; a certflow sanitizer.
+func (v *View) KeyDigest() string { return "fnv32a:00000000#0" }

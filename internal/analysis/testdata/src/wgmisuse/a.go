@@ -1,0 +1,69 @@
+// Package wgmisuse exercises the WaitGroup.Add placement analyzer.
+package wgmisuse
+
+import "sync"
+
+func work() {}
+
+// addInsideGoroutine races: Wait can observe a zero counter and return
+// before the goroutine has registered itself.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races with Wait"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// addInsideNested finds the pattern through nested literals too.
+func addInsideNested(wg *sync.WaitGroup) {
+	go func() {
+		func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine races with Wait"
+		}()
+		defer wg.Done()
+		work()
+	}()
+}
+
+// addBeforeGo is the sanctioned shape; nothing to report.
+func addBeforeGo() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// innerBarrier: a WaitGroup declared inside the goroutine is a fresh
+// barrier the goroutine owns; nothing to report.
+func innerBarrier() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sub sync.WaitGroup
+		sub.Add(1)
+		go func() {
+			defer sub.Done()
+			work()
+		}()
+		sub.Wait()
+	}()
+	wg.Wait()
+}
+
+// suppressed documents an Add that is ordered by a channel handshake.
+func suppressed(wg *sync.WaitGroup, ready chan struct{}) {
+	go func() {
+		//lint:ignore wgmisuse the parent blocks on ready before calling Wait, ordering this Add ahead of it
+		wg.Add(1)
+		close(ready)
+		defer wg.Done()
+		work()
+	}()
+}

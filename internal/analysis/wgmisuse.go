@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGMisuseAnalyzer reports sync.WaitGroup.Add calls made inside the spawned
+// goroutine itself. Add must happen before the go statement: if the counter
+// increment races with the parent's Wait, the Wait can observe zero and
+// return while workers are still starting — the barrier the shard builders
+// and parallel searchers rely on silently stops being one. The correct
+// shape, used throughout the fan-out code, is
+//
+//	wg.Add(1)
+//	go func() { defer wg.Done(); ... }()
+//
+// An Add on a WaitGroup declared inside the literal is a fresh, inner
+// barrier and is not reported.
+var WGMisuseAnalyzer = &Analyzer{
+	Name: "wgmisuse",
+	Doc:  "report WaitGroup.Add called inside the goroutine it accounts for; Add must precede the go statement",
+	Run:  runWGMisuse,
+}
+
+func runWGMisuse(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineAdds(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineAdds reports Add calls within lit on wait groups captured
+// from outside it.
+func checkGoroutineAdds(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if !isWaitGroup(pass.Info.TypeOf(sel.X)) {
+			return true
+		}
+		root := lhsRoot(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			return true
+		}
+		// A wait group declared inside this literal is an inner barrier the
+		// goroutine owns; only captured (outer) groups race with Wait.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s.Add inside the spawned goroutine races with Wait, which can return before the counter rises; call Add before the go statement", root.Name)
+		return true
+	})
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

@@ -59,7 +59,7 @@ func parseInts(s, sep string) ([]int, error) {
 	for i, p := range parts {
 		v, err := strconv.Atoi(p)
 		if err != nil || v < 0 {
-			return nil, fmt.Errorf("field %d: %q is not a non-negative integer", i, p)
+			return nil, fmt.Errorf("field %d (len=%d) is not a non-negative integer", i, len(p))
 		}
 		out[i] = v
 	}

@@ -73,7 +73,7 @@ type degOneKCert struct {
 func parseDegOneKCert(k int, label string) (degOneKCert, error) {
 	prefix := fmt.Sprintf("K%d:", k)
 	if !strings.HasPrefix(label, prefix) {
-		return degOneKCert{}, fmt.Errorf("label %q is not a K%d certificate", label, k)
+		return degOneKCert{}, fmt.Errorf("label (len=%d) is not a K%d certificate", len(label), k)
 	}
 	body := label[len(prefix):]
 	switch body {
@@ -84,7 +84,7 @@ func parseDegOneKCert(k int, label string) (degOneKCert, error) {
 	}
 	c, err := strconv.Atoi(body)
 	if err != nil || c < 0 || c >= k {
-		return degOneKCert{}, fmt.Errorf("label %q has no valid color", label)
+		return degOneKCert{}, fmt.Errorf("label (len=%d) has no valid color", len(label))
 	}
 	return degOneKCert{kind: 'C', color: c}, nil
 }

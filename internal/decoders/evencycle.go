@@ -63,16 +63,16 @@ func parseCycleCert(label string) (cycleCert, error) {
 	var c cycleCert
 	var q1, c1, q2, c2 int
 	if _, err := fmt.Sscanf(label, "C:%d,%d;%d,%d", &q1, &c1, &q2, &c2); err != nil {
-		return c, fmt.Errorf("malformed even-cycle certificate %q: %w", label, err)
+		return c, fmt.Errorf("malformed even-cycle certificate (len=%d): %w", len(label), err)
 	}
 	for _, q := range []int{q1, q2} {
 		if q != 1 && q != 2 {
-			return c, fmt.Errorf("far port %d out of range", q)
+			return c, fmt.Errorf("far port out of range (want 1 or 2)")
 		}
 	}
 	for _, x := range []int{c1, c2} {
 		if x != 0 && x != 1 {
-			return c, fmt.Errorf("color %d out of range", x)
+			return c, fmt.Errorf("color out of range (want 0 or 1)")
 		}
 	}
 	c.farPort[1], c.color[1] = q1, c1

@@ -114,11 +114,11 @@ func parseShatterCert(label string) (shatterCert, error) {
 	switch parts[0] {
 	case "S0", "S1":
 		if len(parts) != 3 {
-			return c, fmt.Errorf("type %s wants 2 fields, got %d", parts[0], len(parts)-1)
+			return c, fmt.Errorf("type S0/S1 wants 2 fields, got %d", len(parts)-1)
 		}
 		id, err := strconv.Atoi(parts[1])
 		if err != nil || id < 1 {
-			return c, fmt.Errorf("bad identifier %q", parts[1])
+			return c, fmt.Errorf("bad identifier (len=%d)", len(parts[1]))
 		}
 		colors := make([]int, len(parts[2]))
 		for i, ch := range parts[2] {
@@ -128,7 +128,7 @@ func parseShatterCert(label string) (shatterCert, error) {
 			case '1':
 				colors[i] = 1
 			default:
-				return c, fmt.Errorf("bad color vector %q", parts[2])
+				return c, fmt.Errorf("bad color vector (len=%d)", len(parts[2]))
 			}
 		}
 		typ := 0
@@ -145,11 +145,11 @@ func parseShatterCert(label string) (shatterCert, error) {
 			return c, err
 		}
 		if vals[0] < 1 || vals[1] < 1 || (vals[2] != 0 && vals[2] != 1) {
-			return c, fmt.Errorf("fields out of range in %q", label)
+			return c, fmt.Errorf("fields out of range (len=%d)", len(label))
 		}
 		return shatterCert{typ: 2, id: vals[0], comp: vals[1], x: vals[2]}, nil
 	default:
-		return c, fmt.Errorf("unknown type %q", parts[0])
+		return c, fmt.Errorf("unknown type (len=%d)", len(parts[0]))
 	}
 }
 

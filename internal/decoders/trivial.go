@@ -54,7 +54,7 @@ func (d *trivialDecoder) Decide(mu *view.View) bool {
 func (d *trivialDecoder) color(label string) (int, error) {
 	c, err := strconv.Atoi(label)
 	if err != nil || c < 0 || c >= d.k {
-		return 0, fmt.Errorf("label %q is not a color in [0,%d)", label, d.k)
+		return 0, fmt.Errorf("label (len=%d) is not a color in [0,%d)", len(label), d.k)
 	}
 	return c, nil
 }

@@ -68,11 +68,11 @@ func parseMelonCert(label string) (melonCert, error) {
 		}
 		ids, err := parseInts(strings.Join(parts[1:], ":"), ":")
 		if err != nil {
-			return c, fmt.Errorf("malformed watermelon certificate %q: %w", label, err)
+			return c, fmt.Errorf("malformed watermelon certificate (len=%d): %w", len(label), err)
 		}
 		c.typ, c.id1, c.id2 = 1, ids[0], ids[1]
 		if c.id1 < 1 || c.id2 <= c.id1 {
-			return c, fmt.Errorf("endpoint ids out of order in %q", label)
+			return c, fmt.Errorf("endpoint ids out of order (len=%d)", len(label))
 		}
 		return c, nil
 	case "W2":
@@ -81,22 +81,22 @@ func parseMelonCert(label string) (melonCert, error) {
 		}
 		head, err := parseInts(strings.Join(parts[1:4], ":"), ":")
 		if err != nil {
-			return c, fmt.Errorf("malformed watermelon certificate %q: %w", label, err)
+			return c, fmt.Errorf("malformed watermelon certificate (len=%d): %w", len(label), err)
 		}
 		c.typ, c.id1, c.id2, c.path = 2, head[0], head[1], head[2]
 		if c.id1 < 1 || c.id2 <= c.id1 || c.path < 1 {
-			return c, fmt.Errorf("header fields out of range in %q", label)
+			return c, fmt.Errorf("header fields out of range (len=%d)", len(label))
 		}
 		for j := 1; j <= 2; j++ {
 			entry, err := parseInts(parts[3+j], ",")
 			if err != nil || len(entry) != 2 {
-				return c, fmt.Errorf("malformed edge entry %q in %q", parts[3+j], label)
+				return c, fmt.Errorf("malformed edge entry %d (len=%d)", j, len(parts[3+j]))
 			}
 			if entry[0] < 1 {
-				return c, fmt.Errorf("far port out of range in %q", label)
+				return c, fmt.Errorf("far port out of range")
 			}
 			if entry[1] != 0 && entry[1] != 1 {
-				return c, fmt.Errorf("color out of range in %q", label)
+				return c, fmt.Errorf("color out of range (want 0 or 1)")
 			}
 			c.farPort[j], c.color[j] = entry[0], entry[1]
 		}
@@ -104,11 +104,11 @@ func parseMelonCert(label string) (melonCert, error) {
 			// Format requires the two incident edges differently colored
 			// (Theorem 1.4 proof: "the format of ℓ indicates that the two
 			// incident edges of each node have different colors").
-			return c, fmt.Errorf("equal incident edge colors in %q", label)
+			return c, fmt.Errorf("equal incident edge colors (len=%d)", len(label))
 		}
 		return c, nil
 	default:
-		return c, fmt.Errorf("unknown watermelon certificate type %q", parts[0])
+		return c, fmt.Errorf("unknown watermelon certificate type (len=%d)", len(parts[0]))
 	}
 }
 

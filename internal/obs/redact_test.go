@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRedactStringHidesBytes(t *testing.T) {
+	secret := "SECRET-CERT-0xdeadbeef"
+	got := RedactString(secret)
+	if strings.Contains(got, "SECRET") || strings.Contains(got, "deadbeef") {
+		t.Fatalf("RedactString leaked input bytes: %q", got)
+	}
+	if !strings.Contains(got, "len=22") {
+		t.Errorf("RedactString(%q) = %q, want the length to survive", secret, got)
+	}
+	if got != RedactString(secret) {
+		t.Error("RedactString is not deterministic")
+	}
+	if got == RedactString("SECRET-CERT-0xdeadbeee") {
+		t.Error("RedactString digests distinct inputs identically (32-bit collision on adjacent strings is a red flag)")
+	}
+}
+
+func TestRedactBytesMatchesString(t *testing.T) {
+	if RedactBytes([]byte("abc")) != RedactString("abc") {
+		t.Error("RedactBytes and RedactString disagree on identical content")
+	}
+}
+
+func TestRedactStringsDistinguishesBoundaries(t *testing.T) {
+	a := RedactStrings([]string{"ab", "c"})
+	b := RedactStrings([]string{"a", "bc"})
+	if a == b {
+		t.Errorf("RedactStrings conflates different label boundaries: %q", a)
+	}
+	got := RedactStrings([]string{"red", "blue", "red"})
+	for _, leak := range []string{"red", "blue"} {
+		if strings.Contains(got, leak) {
+			t.Fatalf("RedactStrings leaked label %q: %q", leak, got)
+		}
+	}
+	if !strings.Contains(got, "n=3") || !strings.Contains(got, "bytes=10") {
+		t.Errorf("RedactStrings summary missing counts: %q", got)
+	}
+}

@@ -1,0 +1,53 @@
+package sanitize
+
+import "testing"
+
+// TestParseGoroutineDump pins the dump grammar the probes depend on: header
+// id and state, top-of-stack frame, and "created by" attribution, including
+// the Go 1.21+ "in goroutine N" suffix and scheduler duration annotations.
+func TestParseGoroutineDump(t *testing.T) {
+	dump := "goroutine 1 [running]:\n" +
+		"main.main()\n" +
+		"\t/src/main.go:10 +0x1a\n" +
+		"\n" +
+		"goroutine 18 [chan receive, 2 minutes]:\n" +
+		"hidinglcp/internal/nbhd.worker(0x2, 0xc000010000)\n" +
+		"\t/src/shard.go:203 +0x1b\n" +
+		"created by hidinglcp/internal/nbhd.BuildSharded in goroutine 1\n" +
+		"\t/src/parallel.go:30 +0x5c\n" +
+		"\n" +
+		"goroutine 19 [semacquire]:\n" +
+		"sync.runtime_Semacquire(0xc00001c0c8)\n" +
+		"\t/go/src/runtime/sema.go:62 +0x25\n" +
+		"created by main.spawn\n" +
+		"\t/src/main.go:20 +0x33\n"
+
+	gs := parseGoroutineDump(dump)
+	if len(gs) != 3 {
+		t.Fatalf("parsed %d goroutines, want 3: %+v", len(gs), gs)
+	}
+
+	if g := gs[0]; g.ID != 1 || g.State != "running" || g.Top != "main.main" || g.CreatedBy != "" {
+		t.Errorf("main goroutine parsed as %+v", g)
+	}
+	if g := gs[1]; g.ID != 18 || g.State != "chan receive" ||
+		g.Top != "hidinglcp/internal/nbhd.worker" ||
+		g.CreatedBy != "hidinglcp/internal/nbhd.BuildSharded" {
+		t.Errorf("worker goroutine parsed as %+v", g)
+	}
+	if g := gs[2]; g.ID != 19 || g.State != "semacquire" || g.CreatedBy != "main.spawn" {
+		t.Errorf("semacquire goroutine parsed as %+v", g)
+	}
+}
+
+// TestParseGoroutineDumpIgnoresJunk: malformed blocks must be skipped, not
+// mis-parsed into phantom goroutines.
+func TestParseGoroutineDumpIgnoresJunk(t *testing.T) {
+	dump := "not a goroutine header\nsome frame\n\n" +
+		"goroutine nan [running]:\nframe()\n\n" +
+		"goroutine 7 [runnable]:\nf()\n\t/x.go:1 +0x1\n"
+	gs := parseGoroutineDump(dump)
+	if len(gs) != 1 || gs[0].ID != 7 || gs[0].State != "runnable" {
+		t.Fatalf("parsed %+v, want exactly goroutine 7", gs)
+	}
+}

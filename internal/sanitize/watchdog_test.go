@@ -1,0 +1,89 @@
+package sanitize_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hidinglcp/internal/sanitize"
+)
+
+// TestWatchReportsStalledBarrier is the deadlock probe's positive case: a
+// WaitGroup whose counter can never drain. The watchdog must trip, and the
+// stalled barrier must appear among the blocked goroutines so the failure
+// names the wedge instead of timing out anonymously.
+func TestWatchReportsStalledBarrier(t *testing.T) {
+	report := sanitize.Watch(100*time.Millisecond, func() {
+		var wg sync.WaitGroup
+		wg.Add(1) // nothing ever calls Done
+		wg.Wait()
+	})
+	if report == nil {
+		t.Fatal("Watch returned nil for a permanently stalled barrier")
+	}
+	if report.Timeout != 100*time.Millisecond {
+		t.Errorf("report timeout %v, want the configured 100ms", report.Timeout)
+	}
+	msg := report.Error()
+	if !strings.Contains(msg, "watchdog") || !strings.Contains(msg, "still running") {
+		t.Errorf("report text %q does not describe the stall", msg)
+	}
+
+	blocked := report.Blocked()
+	if len(blocked) == 0 {
+		t.Fatalf("Blocked() is empty; full report: %v", msg)
+	}
+	found := false
+	for _, g := range blocked {
+		if strings.Contains(g.Stack, "TestWatchReportsStalledBarrier") {
+			found = true
+			if !strings.HasPrefix(g.State, "semacquire") && !strings.HasPrefix(g.State, "sync.WaitGroup.Wait") {
+				t.Errorf("stalled barrier in state %q, want a WaitGroup wait state", g.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no blocked goroutine attributed to the stalled barrier; blocked set: %+v", blocked)
+	}
+}
+
+// TestWatchReportsUndrainedChannel: a worker blocked on a channel receive
+// must classify as blocked under the chan states.
+func TestWatchReportsUndrainedChannel(t *testing.T) {
+	report := sanitize.Watch(100*time.Millisecond, func() {
+		ch := make(chan struct{})
+		<-ch // nobody sends
+	})
+	if report == nil {
+		t.Fatal("Watch returned nil for a permanently blocked receive")
+	}
+	found := false
+	for _, g := range report.Blocked() {
+		if strings.Contains(g.Stack, "TestWatchReportsUndrainedChannel") {
+			found = true
+			if !strings.HasPrefix(g.State, "chan ") {
+				t.Errorf("blocked receive in state %q, want a chan state", g.State)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no blocked goroutine attributed to the undrained channel; report: %v", report.Error())
+	}
+}
+
+// TestWatchPassesPromptCall is the negative case: a call that returns
+// within budget must produce no report.
+func TestWatchPassesPromptCall(t *testing.T) {
+	report := sanitize.Watch(5*time.Second, func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+		wg.Wait()
+	})
+	if report != nil {
+		t.Fatalf("Watch flagged a prompt call: %v", report.Error())
+	}
+}

@@ -162,7 +162,24 @@ func MustExtract(g *graph.Graph, pt *graph.Ports, ids graph.IDs, labels []string
 	return v
 }
 
-// String renders a debug representation.
+// String renders a debug representation. The canonical key appears only as
+// KeyDigest's redacted fingerprint: views carry certificate bytes in their
+// labels, String output flows into error messages and logs (e.g. the
+// sanitizer's violation reports), and the hiding contract forbids label
+// bytes in anything an observer can read. Lengths and digests only.
 func (v *View) String() string {
-	return fmt.Sprintf("View(r=%d, n=%d, key=%s)", v.Radius, v.N(), v.Key())
+	return fmt.Sprintf("View(r=%d, n=%d, key=%s)", v.Radius, v.N(), v.KeyDigest())
+}
+
+// KeyDigest returns a redacted fingerprint of the canonical key — its byte
+// length and a 32-bit FNV-1a digest — sufficient to tell two view classes
+// apart in diagnostics without revealing the label bytes the key embeds.
+// It is one of the sanctioned sanitizers of the certflow taint analyzer.
+func (v *View) KeyDigest() string {
+	k := v.Key()
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h = (h ^ uint32(k[i])) * 16777619
+	}
+	return fmt.Sprintf("fnv32a:%08x#%d", h, len(k))
 }
