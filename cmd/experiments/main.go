@@ -6,11 +6,17 @@
 //
 //	experiments [-run e04 | -only E4] [-list] [-shards N] [-workers N]
 //	            [-metrics-json out.json] [-trace trace.json] [-progress] [-pprof addr]
+//	            [-faults spec] [-crash spec] [-seed N]
 //
 // -metrics-json writes a run manifest (schema docs/run-manifest.schema.json)
 // with one counter/gauge/histogram snapshot per pipeline metric; -progress
 // prints periodic phase lines with ETA to stderr; -pprof serves
 // net/http/pprof plus an expvar view of the live metrics.
+//
+// -faults/-crash/-seed override the chaos experiment's (E17) pinned fault
+// plans with a user-chosen deterministic plan, e.g.
+//
+//	experiments -run e17 -faults drop=0.3,reorder -seed 11
 package main
 
 import (
@@ -31,9 +37,16 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for the parallel search/build phases (0 = 4 per worker)")
 	workers := flag.Int("workers", 0, "worker count for the parallel search/build phases (0 = GOMAXPROCS)")
 	obsFlags := cli.RegisterObsFlags()
+	faultFlags := cli.RegisterFaultFlags()
 	flag.Parse()
 
 	experiments.SetParallelism(*shards, *workers)
+	plan, err := faultFlags.Plan()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	experiments.SetFaultPlan(plan)
 	sel := *only
 	if *runID != "" {
 		sel = normalizeID(*runID)
@@ -44,6 +57,9 @@ func main() {
 	manifest.SetConfig("workers", strconv.Itoa(*workers))
 	if sel != "" {
 		manifest.SetConfig("experiment", sel)
+	}
+	if plan.Active() {
+		manifest.SetConfig("faults", plan.String())
 	}
 	experiments.SetScope(sc)
 

@@ -9,9 +9,17 @@
 //	lcpcheck -scheme shatter -graph grid:4x5 -conflicts
 //	lcpcheck -scheme even-cycle -graph cycle:12 -distributed
 //	lcpcheck -scheme union -graph cycle:8 -sanitize
+//	lcpcheck -scheme even-cycle -graph cycle:12 -faults drop=0.2,trace -seed 7
+//	lcpcheck -scheme trivial -graph grid:3x4 -crash 5@1 -seed 3
 //
 // Graph specs: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,
 // binarytree:LEVELS, spider:a,b,c, watermelon:l1,l2,..., petersen.
+//
+// Fault injection (-faults / -crash / -seed) runs the scheme through the
+// message-passing simulator under a deterministic fault schedule: the same
+// seed replays the identical run, bit for bit. Faulty runs report per-node
+// verdicts (accept / reject / crashed) and a fault summary instead of
+// failing on non-unanimity.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"hidinglcp/internal/cli"
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/faults"
 	"hidinglcp/internal/nbhd"
 	"hidinglcp/internal/obs"
 	"hidinglcp/internal/sanitize"
@@ -39,6 +48,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard count for the exhaustive search (0 = 4 per worker)")
 	workers := flag.Int("workers", 0, "worker count for the exhaustive search (0 = GOMAXPROCS)")
 	obsFlags := cli.RegisterObsFlags()
+	faultFlags := cli.RegisterFaultFlags()
 	flag.Parse()
 
 	if *schemeName == "help" {
@@ -47,12 +57,20 @@ func main() {
 		}
 		return
 	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
+		os.Exit(1)
+	}
 	sc, manifest, finish := obsFlags.Setup("lcpcheck", os.Args[1:])
 	manifest.SetConfig("scheme", *schemeName)
 	manifest.SetConfig("graph", *graphSpec)
 	manifest.SetConfig("shards", strconv.Itoa(*shards))
 	manifest.SetConfig("workers", strconv.Itoa(*workers))
-	err := run(sc, *schemeName, *graphSpec, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers)
+	if plan.Active() {
+		manifest.SetConfig("faults", plan.String())
+	}
+	err = run(sc, *schemeName, *graphSpec, plan, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers)
 	if err := finish(err); err != nil {
 		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
 		os.Exit(1)
@@ -64,7 +82,7 @@ func main() {
 // certainly mistyped the graph size.
 const maxExhaustiveLabelings = 20_000_000
 
-func run(sc obs.Scope, schemeName, graphSpec string, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
+func run(sc obs.Scope, schemeName, graphSpec string, plan faults.Plan, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
 	// Name the scope after the scheme so every progress line and span of the
 	// exhaustive search says which scheme (and shard counts) it is on.
 	sc = sc.Named("scheme=" + schemeName)
@@ -85,6 +103,26 @@ func run(sc obs.Scope, schemeName, graphSpec string, verbose, conflicts, distrib
 		inst = core.NewAnonymousInstance(g)
 	} else {
 		inst = core.NewInstance(g)
+	}
+
+	if plan.Active() {
+		// Fault injection always goes through the message-passing simulator
+		// (faults are scheduler events; there is nothing to inject into a
+		// centralized extraction), and it degrades gracefully: per-node
+		// verdicts instead of a completeness error.
+		if err := plan.Validate(g.N()); err != nil {
+			return err
+		}
+		if err := runFaulty(sc, s, inst, plan, verbose); err != nil {
+			return err
+		}
+		if sanResult != nil {
+			if err := sanResult.Err(); err != nil {
+				return err
+			}
+			fmt.Printf("sanitizer: %d decisions probed, determinism contract holds\n", sanResult.Decisions())
+		}
+		return nil
 	}
 
 	labels, err := s.Prover.Certify(inst)
@@ -163,6 +201,36 @@ func run(sc obs.Scope, schemeName, graphSpec string, verbose, conflicts, distrib
 	}
 	if accepts != g.N() {
 		return fmt.Errorf("completeness violated: %d nodes reject", g.N()-accepts)
+	}
+	return nil
+}
+
+// runFaulty drives the scheme through the fault-injected simulator and
+// reports the degraded outcome: fault summary, verdict counts, and — with
+// -verbose — per-node verdicts. Non-unanimity is the expected result of a
+// faulty run, not an error.
+func runFaulty(sc obs.Scope, s core.Scheme, inst core.Instance, plan faults.Plan, verbose bool) error {
+	fr, err := sim.RunSchemeFaultsScoped(sc, s, inst, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scheme %s on %v\n", s.Name, inst.G)
+	fmt.Printf("fault plan: %s\n", plan)
+	fmt.Printf("simulator: %d rounds, %d messages, %d records\n",
+		fr.Stats.Rounds, fr.Stats.Messages, fr.Stats.Records)
+	fmt.Printf("faults: %s\n", fr.Faults.Summary())
+	accepted, rejected, crashed := fr.Counts()
+	fmt.Printf("verdicts: %d accept, %d reject, %d crashed\n", accepted, rejected, crashed)
+	if verbose {
+		for v, verdict := range fr.Verdicts {
+			fmt.Printf("  node %2d  %s\n", v, verdict)
+		}
+	}
+	if plan.Trace {
+		fmt.Println("schedule trace:")
+		for _, line := range fr.Faults.TraceLines() {
+			fmt.Println("  " + line)
+		}
 	}
 	return nil
 }

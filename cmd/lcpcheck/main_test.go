@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"hidinglcp/internal/faults"
 	"hidinglcp/internal/obs"
 )
 
@@ -27,7 +28,35 @@ func TestRunSchemes(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(obs.Scope{}, tt.scheme, tt.graph, true, true, tt.distributed, true, false, 0, 0)
+			err := run(obs.Scope{}, tt.scheme, tt.graph, faults.Plan{}, true, true, tt.distributed, true, false, 0, 0)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunFaulty drives the fault path: active plans degrade into verdict
+// reports (no completeness error), invalid plans error out.
+func TestRunFaulty(t *testing.T) {
+	tests := []struct {
+		name    string
+		scheme  string
+		graph   string
+		plan    faults.Plan
+		wantErr bool
+	}{
+		{"drop on even cycle", "even-cycle", "cycle:10", faults.Plan{Seed: 7, Drop: 0.3}, false},
+		{"crash on grid", "trivial", "grid:3x3", faults.Plan{Crashes: map[int]int{4: 0}}, false},
+		{"corrupt with trace", "even-cycle", "cycle:8", faults.Plan{CorruptNodes: []int{1}, Trace: true}, false},
+		{"chaos on spider", "degree-one", "spider:2,3,1", faults.Plan{Seed: 3, Drop: 0.2, Duplicate: 0.2, Reorder: true}, false},
+		{"invalid probability", "trivial", "path:4", faults.Plan{Drop: 2}, true},
+		{"crash node out of range", "trivial", "path:4", faults.Plan{Crashes: map[int]int{99: 0}}, true},
+		{"prover rejects under faults", "even-cycle", "cycle:7", faults.Plan{Drop: 0.1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(obs.Scope{}, tt.scheme, tt.graph, tt.plan, true, false, false, false, false, 0, 0)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}
@@ -50,7 +79,7 @@ func TestRunExhaustive(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(obs.Scope{}, tt.scheme, tt.graph, false, false, false, false, true, 8, 2)
+			err := run(obs.Scope{}, tt.scheme, tt.graph, faults.Plan{}, false, false, false, false, true, 8, 2)
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hidinglcp/internal/faults"
 	"hidinglcp/internal/obs"
 )
 
@@ -55,6 +56,31 @@ func scope() obs.Scope {
 	obsScope.mu.Lock()
 	defer obsScope.mu.Unlock()
 	return obsScope.sc
+}
+
+// faultPlan holds the fault-injection plan the chaos experiment (E17)
+// substitutes for its pinned per-row plans when the user passes
+// cmd/experiments -faults/-crash/-seed. Unlike parallelism and the scope,
+// an active plan DOES change table contents — deterministically per
+// (seed, plan) — so the golden comparison against EXPERIMENTS.md only
+// applies to the default (inactive) configuration.
+var faultPlan = struct {
+	mu   sync.Mutex
+	plan faults.Plan
+}{}
+
+// SetFaultPlan configures the fault plan used by the chaos experiment
+// drivers (cmd/experiments -faults/-crash/-seed).
+func SetFaultPlan(p faults.Plan) {
+	faultPlan.mu.Lock()
+	defer faultPlan.mu.Unlock()
+	faultPlan.plan = p
+}
+
+func configuredFaultPlan() (faults.Plan, bool) {
+	faultPlan.mu.Lock()
+	defer faultPlan.mu.Unlock()
+	return faultPlan.plan, faultPlan.plan.Active()
 }
 
 // parallelEach runs fn(0..n-1) on the configured number of workers. fn must

@@ -46,7 +46,7 @@ func TestRunnerIndexComplete(t *testing.T) {
 		}
 		ids[r.ID] = true
 	}
-	if len(ids) != 16 {
-		t.Errorf("got %d experiments, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Errorf("got %d experiments, want 17", len(ids))
 	}
 }

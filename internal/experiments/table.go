@@ -118,5 +118,6 @@ func allRunners() []Runner {
 		{"E14", "certificate-size comparison (baseline)", E14Baseline},
 		{"E15", "k-coloring generalization (extension)", E15KColoring},
 		{"E16", "promise-free LCL application (Section 1)", E16PromiseFreeLCL},
+		{"E17", "fault injection and graceful degradation", E17Chaos},
 	}
 }

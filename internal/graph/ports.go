@@ -74,7 +74,12 @@ func (pt *Ports) NeighborAt(v, p int) (int, error) {
 	if p < 1 || p > len(pt.nbrByPort[v]) {
 		return 0, fmt.Errorf("port %d out of range [1,%d] at node %d", p, len(pt.nbrByPort[v]), v)
 	}
-	return pt.nbrByPort[v][p-1], nil
+	if w := pt.nbrByPort[v][p-1]; w >= 0 {
+		return w, nil
+	}
+	// Gap in a partial assignment (see InducedPorts): the port number was
+	// held by an edge that does not survive in the restricted graph.
+	return 0, fmt.Errorf("port %d of node %d is unassigned in this restriction", p, v)
 }
 
 // Port returns prt(v, {v,w}): the port number of edge {v,w} at v, or an
@@ -119,6 +124,53 @@ func (pt *Ports) Restrict(sub *Graph, orig []int) *PortView {
 		pv.port[[2]int{e[1], e[0]}] = pt.MustPort(v, u)
 	}
 	return pv
+}
+
+// InducedPorts returns the restriction of pt to the subgraph sub of the
+// original graph, where orig maps sub's nodes to original nodes (as
+// returned by Graph.InducedSubgraph). Every surviving edge keeps its
+// original port number at both endpoints.
+//
+// Like Restrict's output, the result is generally NOT a valid Section 2.2
+// port assignment for sub: port numbers of vanished edges leave gaps, so
+// the surviving numbers need not cover 1..deg. It exists for view
+// bookkeeping — centralized extraction over a crash-induced subgraph must
+// see exactly the port numbers the surviving nodes always had, which is
+// what the fault-injected simulator's truncated views carry. Port and
+// MustPort work as usual; NeighborAt errors on gap ports; Validate fails
+// by design; DegreeOf reports the highest surviving port number, not the
+// induced degree.
+func InducedPorts(pt *Ports, sub *Graph, orig []int) (*Ports, error) {
+	if len(orig) != sub.N() {
+		return nil, fmt.Errorf("orig maps %d nodes, subgraph has %d", len(orig), sub.N())
+	}
+	out := &Ports{
+		nbrByPort: make([][]int, sub.N()),
+		portTo:    make([]map[int]int, sub.N()),
+	}
+	for v := 0; v < sub.N(); v++ {
+		out.portTo[v] = make(map[int]int, sub.Degree(v))
+		maxPort := 0
+		for _, w := range sub.Neighbors(v) {
+			p, err := pt.Port(orig[v], orig[w])
+			if err != nil {
+				return nil, fmt.Errorf("restricting ports: %w", err)
+			}
+			out.portTo[v][w] = p
+			if p > maxPort {
+				maxPort = p
+			}
+		}
+		row := make([]int, maxPort)
+		for i := range row {
+			row[i] = -1
+		}
+		for _, w := range sub.Neighbors(v) {
+			row[out.portTo[v][w]-1] = w
+		}
+		out.nbrByPort[v] = row
+	}
+	return out, nil
 }
 
 // PortView is a partial, read-only port map over the nodes of a view.

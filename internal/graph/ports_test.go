@@ -147,3 +147,81 @@ func TestEnumPortsEarlyStop(t *testing.T) {
 		t.Errorf("early stop after %d, want 3", count)
 	}
 }
+
+func TestInducedPortsKeepsOriginalNumbers(t *testing.T) {
+	// Star(5): hub 0 with leaves 1..4 behind ports 1..4. Drop leaves 1 and
+	// 3; the survivors must keep their original port numbers at the hub,
+	// with gaps where the vanished edges were.
+	g := Star(5)
+	pt := DefaultPorts(g)
+	sub, orig := g.InducedSubgraph([]int{0, 2, 4})
+	ip, err := InducedPorts(pt, sub, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orig is sorted: sub node 0 = hub, 1 = leaf 2, 2 = leaf 4.
+	if p, err := ip.Port(0, 1); err != nil || p != 2 {
+		t.Errorf("Port(hub, leaf2) = %d,%v, want 2", p, err)
+	}
+	if p, err := ip.Port(0, 2); err != nil || p != 4 {
+		t.Errorf("Port(hub, leaf4) = %d,%v, want 4", p, err)
+	}
+	// NeighborAt resolves surviving ports and errors on gaps.
+	if w, err := ip.NeighborAt(0, 2); err != nil || w != 1 {
+		t.Errorf("NeighborAt(hub, 2) = %d,%v", w, err)
+	}
+	for _, gap := range []int{1, 3} {
+		if _, err := ip.NeighborAt(0, gap); err == nil {
+			t.Errorf("gap port %d resolved", gap)
+		}
+	}
+	// The partial assignment is not a valid Section 2.2 assignment for the
+	// subgraph — by design.
+	if err := ip.Validate(sub); err == nil {
+		t.Error("partial induced assignment validated")
+	}
+	// Leaves keep port 1 to the hub; MustPort works on surviving edges.
+	if ip.MustPort(1, 0) != 1 || ip.MustPort(2, 0) != 1 {
+		t.Error("leaf ports renumbered")
+	}
+}
+
+func TestInducedPortsFullSubgraphIsOriginal(t *testing.T) {
+	// Keeping every node reproduces the original assignment exactly (and
+	// therefore validates).
+	g := Grid(3, 3)
+	pt := DefaultPorts(g)
+	keep := make([]int, g.N())
+	for v := range keep {
+		keep[v] = v
+	}
+	sub, orig := g.InducedSubgraph(keep)
+	ip, err := InducedPorts(pt, sub, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Validate(sub); err != nil {
+		t.Errorf("full restriction invalid: %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if ip.MustPort(v, w) != pt.MustPort(v, w) {
+				t.Fatalf("port (%d,%d) changed", v, w)
+			}
+		}
+	}
+}
+
+func TestInducedPortsErrors(t *testing.T) {
+	g := Path(4)
+	pt := DefaultPorts(g)
+	sub, orig := g.InducedSubgraph([]int{0, 1})
+	if _, err := InducedPorts(pt, sub, orig[:1]); err == nil {
+		t.Error("mismatched orig length accepted")
+	}
+	// A stale orig mapping pointing at non-neighbors must surface the
+	// underlying port lookup error.
+	if _, err := InducedPorts(pt, sub, []int{0, 3}); err == nil {
+		t.Error("non-edge mapping accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package sanitize
+
+import (
+	"testing"
+	"time"
+
+	"hidinglcp/internal/core"
+	"hidinglcp/internal/faults"
+	"hidinglcp/internal/graph"
+)
+
+func chaosLabeled(t *testing.T, n int) core.Labeled {
+	t.Helper()
+	g := graph.MustCycle(n)
+	inst := core.NewInstance(g)
+	labels := make([]string, n)
+	for v := range labels {
+		labels[v] = string(rune('a' + v%3))
+	}
+	l, err := core.NewLabeled(inst, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestProbeGatherFaultsNoLeak: the scheduler must wind down every per-node
+// goroutine under each fault regime — including crash-stop, where nodes
+// leave the round barrier early instead of completing all phases.
+func TestProbeGatherFaultsNoLeak(t *testing.T) {
+	l := chaosLabeled(t, 8)
+	plans := []faults.Plan{
+		{},
+		{Seed: 1, Drop: 0.4},
+		{Seed: 2, Duplicate: 0.4, Reorder: true},
+		{Seed: 3, Delay: 0.5, MaxDelay: 2},
+		{Seed: 4, Crashes: map[int]int{0: 0, 3: 1, 5: 2}},
+		{Seed: 5, Drop: 0.3, Duplicate: 0.3, Delay: 0.3, MaxDelay: 3,
+			Reorder: true, Crashes: map[int]int{2: 1}, CorruptNodes: []int{4}},
+	}
+	for _, plan := range plans {
+		views, _, _, leak, err := ProbeGatherFaults(l, 3, plan)
+		if err != nil {
+			t.Fatalf("plan %s: %v", plan, err)
+		}
+		if leak != nil {
+			t.Errorf("plan %s leaked goroutines: %v", plan, leak)
+		}
+		if len(views) != 8 {
+			t.Errorf("plan %s: %d views", plan, len(views))
+		}
+	}
+}
+
+// TestProbeGatherFaultsLeakOnError: even when the gather errors out (an
+// invalid plan), no goroutines may survive.
+func TestProbeGatherFaultsNoLeakOnError(t *testing.T) {
+	l := chaosLabeled(t, 4)
+	_, _, _, leak, err := ProbeGatherFaults(l, 2, faults.Plan{Drop: 7})
+	if err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	if leak != nil {
+		t.Errorf("error path leaked goroutines: %v", leak)
+	}
+}
+
+// TestWatchGatherFaultsCompletes: the round barrier releases under every
+// fault regime well inside the watchdog budget.
+func TestWatchGatherFaultsCompletes(t *testing.T) {
+	l := chaosLabeled(t, 10)
+	plans := []faults.Plan{
+		{Seed: 6, Drop: 1},                                    // total silence: all timeouts
+		{Seed: 7, Crashes: map[int]int{0: 0, 5: 0}},           // crash-stop leavers
+		{Seed: 8, Delay: 1, MaxDelay: 3},                      // everything late
+		{Seed: 9, Duplicate: 1, Reorder: true, RetryLimit: 1}, // bursty with minimal retry budget
+	}
+	for _, plan := range plans {
+		stall, err := WatchGatherFaults(30*time.Second, l, 3, plan)
+		if stall != nil {
+			t.Fatalf("plan %s wedged the scheduler: %v", plan, stall)
+		}
+		if err != nil {
+			t.Fatalf("plan %s: %v", plan, err)
+		}
+	}
+}

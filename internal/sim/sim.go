@@ -6,26 +6,32 @@
 // distance-r nodes needs min distance r to either endpoint and therefore
 // never arrives within r rounds.
 //
-// The package exists to demonstrate that the library's decoders are genuine
-// distributed algorithms; Gather is checked against the centralized
-// view.Extract in tests, and GatherSequential provides the single-threaded
+// The runtime is fault-injectable: GatherFaults and RunSchemeFaults drive
+// the same scheduler under a seeded faults.Plan — message drop,
+// duplication, delay, and reordering, crash-stop node failures, and
+// adversarial certificate corruption — with bit-identical replays per
+// (seed, plan) and graceful degradation into per-node verdicts plus a
+// structured FaultReport. Gather and RunScheme are the fault-free entry
+// points (the zero-value plan), checked against the centralized
+// view.Extract in tests; GatherSequential provides the single-threaded
 // reference used by the scheduling ablation bench.
 package sim
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/faults"
 	"hidinglcp/internal/view"
 )
 
 // Stats reports the communication volume of one Gather run.
 type Stats struct {
 	Rounds int
-	// Messages is the total number of point-to-point messages (one per
-	// directed edge per round).
+	// Messages is the total number of point-to-point messages actually
+	// handed to a link (dropped messages are not counted; duplicated and
+	// delayed copies are counted when delivered to the link).
 	Messages int
 	// Records is the total number of node records carried by all messages
 	// (a proxy for bandwidth).
@@ -72,22 +78,19 @@ func (k *knowledge) merge(other knowledge) {
 	}
 }
 
-// Gather runs r rounds of synchronous flooding with one goroutine per node
-// and returns every node's assembled radius-r view. The host indices inside
-// messages are transport bookkeeping only (they never reach the decoders,
-// which see view-local numbering exactly as with view.Extract).
-func Gather(l core.Labeled, r int) ([]*view.View, Stats, error) {
+// initialKnowledge seeds every node's knowledge with itself and its
+// incident edges under the given labeling (which may differ from
+// l.Labels under adversarial corruption). A malformed port assignment —
+// one not covering the instance's edges — surfaces as an error here, at
+// the start of every gather, instead of panicking mid-flood.
+func initialKnowledge(l core.Labeled, labels []string) ([]knowledge, error) {
 	n := l.G.N()
-	if r < 0 {
-		return nil, Stats{}, fmt.Errorf("negative radius %d", r)
+	if l.Prt == nil {
+		return nil, fmt.Errorf("instance has no port assignment")
 	}
-	// One buffered channel per directed edge.
-	chans := make(map[[2]int]chan knowledge, 2*l.G.M())
-	for _, e := range l.G.Edges() {
-		chans[[2]int{e[0], e[1]}] = make(chan knowledge, 1)
-		chans[[2]int{e[1], e[0]}] = make(chan knowledge, 1)
+	if len(labels) != n {
+		return nil, fmt.Errorf("labeling covers %d nodes, graph has %d", len(labels), n)
 	}
-
 	know := make([]knowledge, n)
 	for v := 0; v < n; v++ {
 		know[v] = knowledge{nodes: map[int]nodeRec{}, edges: map[[2]int]edgeRec{}}
@@ -95,10 +98,17 @@ func Gather(l core.Labeled, r int) ([]*view.View, Stats, error) {
 		if l.IDs != nil {
 			id = l.IDs[v]
 		}
-		know[v].nodes[v] = nodeRec{id: id, label: l.Labels[v], deg: l.G.Degree(v)}
+		know[v].nodes[v] = nodeRec{id: id, label: labels[v], deg: l.G.Degree(v)}
 		for _, w := range l.G.Neighbors(v) {
+			pa, err := l.Prt.Port(v, w)
+			if err != nil {
+				return nil, fmt.Errorf("malformed port assignment: %w", err)
+			}
+			pb, err := l.Prt.Port(w, v)
+			if err != nil {
+				return nil, fmt.Errorf("malformed port assignment: %w", err)
+			}
 			a, b := v, w
-			pa, pb := l.Prt.MustPort(v, w), l.Prt.MustPort(w, v)
 			if a > b {
 				a, b = b, a
 				pa, pb = pb, pa
@@ -106,44 +116,18 @@ func Gather(l core.Labeled, r int) ([]*view.View, Stats, error) {
 			know[v].edges[[2]int{a, b}] = edgeRec{a: a, b: b, portA: pa, portB: pb}
 		}
 	}
+	return know, nil
+}
 
-	var wg sync.WaitGroup
-	var statMu sync.Mutex
-	stats := Stats{Rounds: r}
-	for v := 0; v < n; v++ {
-		wg.Add(1)
-		go func(v int) {
-			defer wg.Done()
-			sent, records := 0, 0
-			for round := 0; round < r; round++ {
-				snapshot := know[v].clone()
-				for _, w := range l.G.Neighbors(v) {
-					chans[[2]int{v, w}] <- snapshot
-					sent++
-					records += len(snapshot.nodes)
-				}
-				for _, w := range l.G.Neighbors(v) {
-					incoming := <-chans[[2]int{w, v}]
-					know[v].merge(incoming)
-				}
-			}
-			statMu.Lock()
-			stats.Messages += sent
-			stats.Records += records
-			statMu.Unlock()
-		}(v)
-	}
-	wg.Wait()
-
-	views := make([]*view.View, n)
-	for v := 0; v < n; v++ {
-		mu, err := assemble(know[v], v, r, l.NBound)
-		if err != nil {
-			return nil, stats, fmt.Errorf("assembling view of node %d: %w", v, err)
-		}
-		views[v] = mu
-	}
-	return views, stats, nil
+// Gather runs r rounds of synchronous flooding with one goroutine per node
+// and returns every node's assembled radius-r view. The host indices inside
+// messages are transport bookkeeping only (they never reach the decoders,
+// which see view-local numbering exactly as with view.Extract). It is the
+// fault-free run of the injectable scheduler: GatherFaults under the
+// zero-value plan.
+func Gather(l core.Labeled, r int) ([]*view.View, Stats, error) {
+	views, stats, _, err := GatherFaults(l, r, faults.Plan{})
+	return views, stats, err
 }
 
 // GatherSequential computes the same result with a plain round loop and no
@@ -153,23 +137,9 @@ func GatherSequential(l core.Labeled, r int) ([]*view.View, Stats, error) {
 	if r < 0 {
 		return nil, Stats{}, fmt.Errorf("negative radius %d", r)
 	}
-	know := make([]knowledge, n)
-	for v := 0; v < n; v++ {
-		know[v] = knowledge{nodes: map[int]nodeRec{}, edges: map[[2]int]edgeRec{}}
-		id := 0
-		if l.IDs != nil {
-			id = l.IDs[v]
-		}
-		know[v].nodes[v] = nodeRec{id: id, label: l.Labels[v], deg: l.G.Degree(v)}
-		for _, w := range l.G.Neighbors(v) {
-			a, b := v, w
-			pa, pb := l.Prt.MustPort(v, w), l.Prt.MustPort(w, v)
-			if a > b {
-				a, b = b, a
-				pa, pb = pb, pa
-			}
-			know[v].edges[[2]int{a, b}] = edgeRec{a: a, b: b, portA: pa, portB: pb}
-		}
+	know, err := initialKnowledge(l, l.Labels)
+	if err != nil {
+		return nil, Stats{}, err
 	}
 	stats := Stats{Rounds: r}
 	for round := 0; round < r; round++ {
@@ -200,9 +170,21 @@ func GatherSequential(l core.Labeled, r int) ([]*view.View, Stats, error) {
 // numbering convention as view.Extract: nodes sorted by (distance from
 // center, host index), frontier-frontier edges dropped.
 func assemble(k knowledge, center, r, nBound int) (*view.View, error) {
-	// BFS over known edges to compute distances from the center.
+	// BFS over known edges to compute distances from the center. Only edges
+	// between nodes whose records are present may be walked: an edge record
+	// with an unknown endpoint (a frontier node's outgoing edge, or — under
+	// crash faults — an edge incident to a node that died before speaking)
+	// must not act as a shortcut through a node the center knows nothing
+	// about. Fault-free this changes nothing: every node within distance r
+	// arrives with the records of all nodes on its shortest paths.
 	adj := make(map[int][]int, len(k.nodes))
 	for e := range k.edges {
+		if _, ok := k.nodes[e[0]]; !ok {
+			continue
+		}
+		if _, ok := k.nodes[e[1]]; !ok {
+			continue
+		}
 		adj[e[0]] = append(adj[e[0]], e[1])
 		adj[e[1]] = append(adj[e[1]], e[0])
 	}
@@ -222,8 +204,10 @@ func assemble(k knowledge, center, r, nBound int) (*view.View, error) {
 	for h := range k.nodes {
 		d, ok := dist[h]
 		if !ok || d > r {
-			// Knowledge can momentarily exceed the ball on multigraph-like
-			// shortcuts; it cannot under flooding, so treat it as a bug.
+			// Knowledge spreads one hop per round and every record travels
+			// with the edge chain it came along (even under drop, delay,
+			// and duplication faults), so a record outside the radius-r
+			// ball is unreachable under flooding; treat it as a bug.
 			return nil, fmt.Errorf("gathered record of node %d outside radius %d", h, r)
 		}
 	}
@@ -277,26 +261,16 @@ func assemble(k knowledge, center, r, nBound int) (*view.View, error) {
 
 // RunScheme certifies the instance with the scheme's prover, gathers views
 // by message passing, and evaluates the decoder at every node. It is the
-// end-to-end "distributed certification" entry point.
+// end-to-end "distributed certification" entry point — the fault-free run
+// of RunSchemeFaults.
 func RunScheme(s core.Scheme, inst core.Instance) (accept []bool, stats Stats, err error) {
-	labels, err := s.Prover.Certify(inst)
-	if err != nil {
-		return nil, Stats{}, fmt.Errorf("prover: %w", err)
-	}
-	l, err := core.NewLabeled(inst, labels)
+	fr, err := RunSchemeFaults(s, inst, faults.Plan{})
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	views, stats, err := Gather(l, s.Decoder.Rounds())
-	if err != nil {
-		return nil, stats, err
+	accept = make([]bool, len(fr.Verdicts))
+	for v, verdict := range fr.Verdicts {
+		accept[v] = verdict.Accepted()
 	}
-	accept = make([]bool, len(views))
-	for v, mu := range views {
-		if s.Decoder.Anonymous() {
-			mu = mu.Anonymize()
-		}
-		accept[v] = s.Decoder.Decide(mu)
-	}
-	return accept, stats, nil
+	return accept, fr.Stats, nil
 }

@@ -171,6 +171,30 @@ func TestRunSchemeRejectsOutsidePromise(t *testing.T) {
 	}
 }
 
+// TestGatherMalformedPorts: a port assignment that does not cover the
+// instance's edges must surface as an error from both gather paths, not a
+// panic mid-flood. Star(4)'s ports cover only edges incident to the hub,
+// so running them against Path(4) (which has edge 2-3) is malformed.
+func TestGatherMalformedPorts(t *testing.T) {
+	g := graph.Path(4)
+	inst := core.NewInstance(g).WithPorts(graph.DefaultPorts(graph.Star(4)))
+	l := core.MustNewLabeled(inst, make([]string, 4))
+	if _, _, err := Gather(l, 1); err == nil {
+		t.Error("Gather accepted a malformed port assignment")
+	}
+	if _, _, err := GatherSequential(l, 1); err == nil {
+		t.Error("GatherSequential accepted a malformed port assignment")
+	}
+	// A nil port assignment is the degenerate malformed case.
+	l.Prt = nil
+	if _, _, err := Gather(l, 1); err == nil {
+		t.Error("Gather accepted a nil port assignment")
+	}
+	if _, _, err := GatherSequential(l, 1); err == nil {
+		t.Error("GatherSequential accepted a nil port assignment")
+	}
+}
+
 // Property: parallel and sequential gathering agree on all views and on
 // message counts.
 func TestGatherParallelSequentialAgree(t *testing.T) {
