@@ -7,6 +7,7 @@ import (
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/experiments"
+	"hidinglcp/internal/faults"
 	"hidinglcp/internal/forgetful"
 	"hidinglcp/internal/graph"
 	"hidinglcp/internal/nbhd"
@@ -300,6 +301,79 @@ func BenchmarkSimulator(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := sim.GatherSequential(l, 2); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGatherFaults measures fault-injected view gathering under a
+// representative chaos plan (drops, duplicates, delays, reorder) on a grid.
+func BenchmarkGatherFaults(b *testing.B) {
+	g := graph.Grid(8, 8)
+	l := core.MustNewLabeled(core.NewInstance(g), make([]string, g.N()))
+	plan := faults.Plan{Seed: 7, Drop: 0.1, Duplicate: 0.1, Delay: 0.2, MaxDelay: 2, Reorder: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := sim.GatherFaults(l, 2, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunScheme measures the end-to-end distributed-certification run:
+// prover certify, message-passing gather, decoder at every node.
+func BenchmarkRunScheme(b *testing.B) {
+	s := decoders.EvenCycle()
+	inst := core.NewAnonymousInstance(graph.MustCycle(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accept, _, err := sim.RunScheme(s, inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v, a := range accept {
+			if !a {
+				b.Fatalf("node %d rejects a certified even cycle", v)
+			}
+		}
+	}
+}
+
+// BenchmarkNGraphIndexOfView measures node lookup on a built neighborhood
+// graph through the interner fast path (handle-indexed, no canonical-string
+// materialization): cached-key queries isolate the lookup itself, fresh
+// queries include the binary canonicalization of an un-keyed clone.
+func BenchmarkNGraphIndexOfView(b *testing.B) {
+	s := decoders.DegreeOne()
+	fam := decoders.DegOneFamily(3)
+	ng, err := nbhd.Build(s.Decoder, nbhd.AllLabelings(decoders.DegOneAlphabet(), fam...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ng.Size() == 0 {
+		b.Fatal("empty neighborhood graph")
+	}
+	b.Run("cached-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mu := ng.ViewAt(i % ng.Size())
+			if ng.IndexOfView(mu) < 0 {
+				b.Fatal("member view not found")
+			}
+		}
+	})
+	b.Run("fresh-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mu := ng.ViewAt(i % ng.Size()).Clone()
+			if ng.IndexOfView(mu) < 0 {
+				b.Fatal("member view not found")
+			}
+		}
+	})
+	b.Run("string-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			key := ng.ViewAt(i % ng.Size()).Key()
+			if ng.IndexOf(key) < 0 {
+				b.Fatal("member key not found")
 			}
 		}
 	})

@@ -1,8 +1,9 @@
 // Command lcplint is the repository's contract multichecker: it runs the
 // custom analyzers of internal/analysis — the determinism suite
 // (decoderpurity, maporder, nondet, anonid, obspurity), the hiding-contract
-// taint analyzer (certflow), and the concurrency pack (atomicmix,
-// mutexcopy, loopcapture, wgmisuse) — over the given package patterns and,
+// taint analyzer (certflow), the concurrency pack (atomicmix,
+// mutexcopy, loopcapture, wgmisuse), and the memory-discipline check
+// (poolescape) — over the given package patterns and,
 // unless -vet=false, the standard `go vet` passes alongside them. It exits
 // non-zero when any diagnostic is reported, so CI can gate on a clean run.
 //

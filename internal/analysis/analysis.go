@@ -6,7 +6,7 @@
 // library's go/ast, go/parser, and go/types so the linter works offline
 // with no external modules.
 //
-// Ten analyzers are provided (see All). Five enforce the determinism
+// Eleven analyzers are provided (see All). Five enforce the determinism
 // contract:
 //
 //   - decoderpurity: a Decide method must not write receiver fields,
@@ -39,6 +39,12 @@
 //   - loopcapture: goroutines spawned in a loop take their iteration state
 //     as arguments, never by capture.
 //   - wgmisuse: WaitGroup.Add precedes the go statement it accounts for.
+//
+// And one guards the memory-reuse discipline (internal/mem):
+//
+//   - poolescape: a buffer borrowed from a recycler (mem.Pool, mem.FreeList,
+//     sync.Pool) must not escape its borrow scope — returned or stored into
+//     caller-visible state — without a defensive copy.
 //
 // The analyzers run over packages loaded by Load (backed by `go list` and
 // the go/types source importer) and are wired into the cmd/lcplint
@@ -116,6 +122,7 @@ func All() []*Analyzer {
 		MutexCopyAnalyzer,
 		LoopCaptureAnalyzer,
 		WGMisuseAnalyzer,
+		PoolEscapeAnalyzer,
 	}
 }
 

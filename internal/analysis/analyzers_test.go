@@ -50,6 +50,10 @@ func TestWGMisuse(t *testing.T) {
 	analysistest.Run(t, "testdata", "wgmisuse", analysis.WGMisuseAnalyzer)
 }
 
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", "poolescape", analysis.PoolEscapeAnalyzer)
+}
+
 func TestAllListsEveryAnalyzer(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -64,6 +68,7 @@ func TestAllListsEveryAnalyzer(t *testing.T) {
 	for _, want := range []string{
 		"decoderpurity", "maporder", "nondet", "anonid", "obspurity",
 		"certflow", "atomicmix", "mutexcopy", "loopcapture", "wgmisuse",
+		"poolescape",
 	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)

@@ -35,6 +35,12 @@ type labelSweep struct {
 	labels []string
 	acc    []int
 	keyBuf []byte
+	// mu is the scratch view refilled per memo-miss decoder call
+	// (view.Template.InstantiateInto). Decoders are pure functions of the
+	// view (pinned by the decoderpurity analyzer) and the sweep never
+	// retains or interns the instance, so one scratch view per sweep is
+	// safe.
+	mu view.View
 	// langMemo memoizes lang.Contains by accepting-set bitmask (instances
 	// with at most 64 nodes): the language verdict is a pure function of
 	// the induced subgraph, which the accepting set determines.
@@ -127,7 +133,7 @@ func (s *labelSweep) check(idx []int) error {
 		t := s.tpl[v]
 		if s.memo[v] == nil {
 			s.nDecideInner++
-			return s.d.Decide(t.Instantiate(s.labels))
+			return s.d.Decide(t.InstantiateInto(&s.mu, s.labels))
 		}
 		rank := uint64(0)
 		for i, w := range t.Hosts() {
@@ -138,7 +144,7 @@ func (s *labelSweep) check(idx []int) error {
 			return out
 		}
 		s.nDecideInner++
-		out := s.d.Decide(t.Instantiate(s.labels))
+		out := s.d.Decide(t.InstantiateInto(&s.mu, s.labels))
 		s.memo[v][rank] = out
 		return out
 	})
@@ -160,7 +166,7 @@ func (s *labelSweep) checkLabels(labels []string) error {
 			return out
 		}
 		s.nDecideInner++
-		out := s.d.Decide(t.Instantiate(labels))
+		out := s.d.Decide(t.InstantiateInto(&s.mu, labels))
 		s.smemo[v][string(kb)] = out
 		return out
 	})

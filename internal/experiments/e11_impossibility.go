@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -228,6 +229,20 @@ type decoderSpace struct {
 	// induced by each accepting node bitmask (corpus instances have at
 	// most 64 nodes; the verdict depends only on the accepting set).
 	bip map[*graph.Ports]map[uint64]bool
+	// adjCache holds, per yes corpus (keyed by its first instance), the
+	// class-level adjacency and loop masks hiding() walks. The class count
+	// is bounded by the bitmask budget (<= 60), so adjacency fits fixed
+	// [64]uint64 rows and each hiding() call runs an allocation-free
+	// mask-BFS instead of building a graph.Graph per decoder sample.
+	adjCache map[*core.Instance]*classAdj
+}
+
+// classAdj is the class-level slice of a yes corpus: adj[c] is the bitmask
+// of classes sharing an edge with class c in some corpus instance, loops the
+// classes adjacent to themselves.
+type classAdj struct {
+	adj   [64]uint64
+	loops uint64
 }
 
 // classKey returns the legacy class key of a node view, resolving repeat
@@ -245,18 +260,21 @@ func (s *decoderSpace) classKey(mu *view.View) string {
 
 func newDecoderSpace(corpus []core.Instance) (*decoderSpace, error) {
 	s := &decoderSpace{
-		index:   map[string]int{},
-		vecs:    map[*graph.Ports][]int{},
-		binKeys: map[string]string{},
-		bip:     map[*graph.Ports]map[uint64]bool{},
+		index:    map[string]int{},
+		vecs:     map[*graph.Ports][]int{},
+		binKeys:  map[string]string{},
+		bip:      map[*graph.Ports]map[uint64]bool{},
+		adjCache: map[*core.Instance]*classAdj{},
 	}
 	// Single pass: collect each instance's per-node class keys once, sort
 	// the class universe, then number the cached vectors under the sorted
-	// index — no second extraction sweep over the corpus.
+	// index — no second extraction sweep over the corpus. One Extractor
+	// shares its template scratch across the whole corpus.
+	var ex view.Extractor
 	keys := make([][]string, len(corpus))
 	for ci, inst := range corpus {
 		l := core.MustNewLabeled(inst, make([]string, inst.G.N()))
-		views, err := l.Views(1)
+		views, err := l.ViewsWith(&ex, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -461,27 +479,74 @@ func violates(mask uint64, bad []uint64) bool {
 }
 
 // hiding reports whether the class-level accepting neighborhood slice over
-// the yes corpus contains an odd cycle (including a self-loop).
+// the yes corpus contains an odd cycle (including a self-loop). The corpus
+// adjacency is precomputed once (yesAdj); per decoder mask the check is a
+// loop-bit test plus an allocation-free bitmask BFS 2-coloring.
 func (s *decoderSpace) hiding(mask int, yes []core.Instance) bool {
-	accepted := func(c int) bool { return mask&(1<<uint(c)) != 0 }
-	sub := graph.New(len(s.classes))
-	loop := false
+	ca := s.yesAdj(yes)
+	acc := uint64(mask)
+	if ca.loops&acc != 0 {
+		return true
+	}
+	var nadj [64]uint64
+	for f := acc; f != 0; f &= f - 1 {
+		c := bits.TrailingZeros64(f)
+		nadj[c] = ca.adj[c] & acc
+	}
+	return !maskBipartite(acc, &nadj)
+}
+
+// yesAdj returns the class-level adjacency of the yes corpus, computed on
+// first use and cached (hiding is probed once per sampled decoder mask over
+// a fixed corpus). Corpora are identified by their first instance; each
+// decoderSpace only ever sees one.
+func (s *decoderSpace) yesAdj(yes []core.Instance) *classAdj {
+	if ca, ok := s.adjCache[&yes[0]]; ok {
+		return ca
+	}
+	ca := &classAdj{}
 	for _, inst := range yes {
 		vec := s.vecs[inst.Prt]
 		for _, e := range inst.G.Edges() {
 			a, b := vec[e[0]], vec[e[1]]
-			if !accepted(a) || !accepted(b) {
-				continue
-			}
 			if a == b {
-				loop = true
+				ca.loops |= 1 << uint(a)
 				continue
 			}
-			if !sub.HasEdge(a, b) {
-				// Adding between valid class indices; errors impossible.
-				_ = sub.AddEdge(a, b)
-			}
+			ca.adj[a] |= 1 << uint(b)
+			ca.adj[b] |= 1 << uint(a)
 		}
 	}
-	return loop || !sub.IsBipartite()
+	s.adjCache[&yes[0]] = ca
+	return ca
+}
+
+// maskBipartite 2-colors the graph on the node bitmask whose rows are adj
+// (restricted to the mask) by frontier-mask BFS: a layer's neighbor set
+// intersecting the layer's own side is an odd cycle. Edges only join
+// consecutive BFS layers, so the parity-side test is exact.
+func maskBipartite(nodes uint64, adj *[64]uint64) bool {
+	visited := uint64(0)
+	for {
+		rest := nodes &^ visited
+		if rest == 0 {
+			return true
+		}
+		var side [2]uint64
+		cur := rest & -rest
+		si := 0
+		for cur != 0 {
+			side[si] |= cur
+			visited |= cur
+			var nxt uint64
+			for f := cur; f != 0; f &= f - 1 {
+				nxt |= adj[bits.TrailingZeros64(f)]
+			}
+			if nxt&side[si] != 0 {
+				return false
+			}
+			cur = nxt &^ visited
+			si ^= 1
+		}
+	}
 }

@@ -4,35 +4,35 @@ import "fmt"
 
 // EnumGraphs calls fn with every simple graph on exactly n labeled nodes
 // (2^(n(n-1)/2) of them). Enumeration stops early if fn returns false.
-// The Graph passed to fn is reused across calls only if fn returns true;
-// treat it as read-only and Clone it to retain.
+// The Graph passed to fn — node set, adjacency storage, everything — is
+// reused across calls; treat it as read-only and Clone it to retain.
 func EnumGraphs(n int, fn func(*Graph) bool) {
 	pairs := allPairs(n)
 	total := 1 << len(pairs)
 	deg := make([]int, n)
+	// One Graph and one adjacency backing array (sized for the complete
+	// graph) serve every mask; per mask the lists are re-sliced out of the
+	// backing. Pairs are lexicographic, so plain appends keep each list
+	// sorted — the same representation AddEdge produces.
+	g := New(n)
+	backing := make([]int, n*max(n-1, 0))
 	for mask := 0; mask < total; mask++ {
-		// Build the adjacency lists into one exact-size backing array.
-		// Pairs are lexicographic, so plain appends keep each list sorted —
-		// the same representation AddEdge produces, without its per-edge
-		// reallocation.
 		for v := range deg {
 			deg[v] = 0
 		}
-		m := 0
 		for i, e := range pairs {
 			if mask&(1<<i) != 0 {
 				deg[e[0]]++
 				deg[e[1]]++
-				m++
 			}
 		}
-		g := New(n)
-		backing := make([]int, 2*m)
 		off := 0
 		for v := 0; v < n; v++ {
 			if deg[v] > 0 {
-				g.adj[v] = backing[off:off : off+deg[v]]
+				g.adj[v] = backing[off : off : off+deg[v]]
 				off += deg[v]
+			} else {
+				g.adj[v] = nil
 			}
 		}
 		for i, e := range pairs {
@@ -150,7 +150,8 @@ func EnumIDs(n, maxID int, fn func(IDs) bool) {
 
 // EnumLabelings calls fn with every labeling of n nodes over an alphabet of
 // the given size (alphabet^n total); labels are integers 0..alphabet-1
-// indexed by node. Enumeration stops early if fn returns false.
+// indexed by node. Enumeration stops early if fn returns false. The slice
+// passed to fn is reused across calls; copy it to retain.
 func EnumLabelings(n, alphabet int, fn func([]int) bool) {
 	if alphabet <= 0 {
 		return
@@ -159,7 +160,7 @@ func EnumLabelings(n, alphabet int, fn func([]int) bool) {
 	var rec func(v int) bool
 	rec = func(v int) bool {
 		if v == n {
-			return fn(append([]int(nil), lab...))
+			return fn(lab)
 		}
 		for a := 0; a < alphabet; a++ {
 			lab[v] = a
@@ -173,7 +174,8 @@ func EnumLabelings(n, alphabet int, fn func([]int) bool) {
 }
 
 // Combinations calls fn with every size-k subset of 0..n-1 in lexicographic
-// order. Enumeration stops early if fn returns false.
+// order. Enumeration stops early if fn returns false. The slice passed to
+// fn is reused across calls; copy it to retain.
 func Combinations(n, k int, fn func([]int) bool) {
 	if k < 0 || k > n {
 		return
@@ -182,7 +184,7 @@ func Combinations(n, k int, fn func([]int) bool) {
 	var rec func(start, i int) bool
 	rec = func(start, i int) bool {
 		if i == k {
-			return fn(append([]int(nil), sel...))
+			return fn(sel)
 		}
 		for v := start; v <= n-(k-i); v++ {
 			sel[i] = v

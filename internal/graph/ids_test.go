@@ -150,7 +150,8 @@ func TestEnumLabelings(t *testing.T) {
 func TestCombinations(t *testing.T) {
 	var got [][]int
 	Combinations(4, 2, func(c []int) bool {
-		got = append(got, c)
+		// The yielded slice is reused across calls; copy to retain.
+		got = append(got, append([]int(nil), c...))
 		return true
 	})
 	if len(got) != 6 {

@@ -5,31 +5,33 @@ import "fmt"
 // Ports is a port assignment in the sense of Section 2.2: at every node v,
 // the incident edges are numbered bijectively with 1..deg(v). Port numbers
 // are 1-based, exactly as in the paper.
+//
+// The representation is a single flat neighbor-by-port table; the reverse
+// map prt(v, {v,w}) -> port is answered by scanning v's row, which beats a
+// per-node hash map at the tiny degrees of the micro universes this library
+// enumerates (and EnumPorts builds one Ports per port assignment, so the
+// construction itself must stay cheap: one backing array, no maps).
 type Ports struct {
-	// nbrByPort[v][p-1] is the neighbor of v reached through port p.
+	// nbrByPort[v][p-1] is the neighbor of v reached through port p, or -1
+	// for a gap in a partial restriction (see InducedPorts).
 	nbrByPort [][]int
-	// portTo[v] maps a neighbor w of v to the port number of edge {v,w} at v.
-	portTo []map[int]int
 }
 
 // DefaultPorts assigns port numbers in increasing neighbor order: the i-th
-// smallest neighbor of v is behind port i.
+// smallest neighbor of v is behind port i. Adjacency lists are sorted
+// ascending, so each row is a copy of the neighbor list itself.
 func DefaultPorts(g *Graph) *Ports {
-	perm := make([][]int, g.N())
-	for v := range perm {
-		ids := make([]int, g.Degree(v))
-		for i := range ids {
-			ids[i] = i
-		}
-		perm[v] = ids
+	ports := &Ports{nbrByPort: make([][]int, g.N())}
+	backing := make([]int, 2*g.M())
+	off := 0
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		row := backing[off : off+len(nb) : off+len(nb)]
+		off += len(nb)
+		copy(row, nb)
+		ports.nbrByPort[v] = row
 	}
-	p, err := PortsFromPerm(g, perm)
-	if err != nil {
-		// Identity permutations are always valid for the graph they were
-		// derived from; reaching this indicates a bug in this package.
-		panic(fmt.Sprintf("graph.DefaultPorts: %v", err))
-	}
-	return p
+	return ports
 }
 
 // PortsFromPerm builds a port assignment from per-node permutations: port p
@@ -40,27 +42,32 @@ func PortsFromPerm(g *Graph, perm [][]int) (*Ports, error) {
 	if len(perm) != g.N() {
 		return nil, fmt.Errorf("perm has %d rows, want %d", len(perm), g.N())
 	}
-	ports := &Ports{
-		nbrByPort: make([][]int, g.N()),
-		portTo:    make([]map[int]int, g.N()),
-	}
+	ports := &Ports{nbrByPort: make([][]int, g.N())}
+	backing := make([]int, 2*g.M())
+	var seen []bool
+	off := 0
 	for v := 0; v < g.N(); v++ {
 		deg := g.Degree(v)
 		if len(perm[v]) != deg {
 			return nil, fmt.Errorf("perm[%d] has %d entries, want deg=%d", v, len(perm[v]), deg)
 		}
-		seen := make([]bool, deg)
-		ports.nbrByPort[v] = make([]int, deg)
-		ports.portTo[v] = make(map[int]int, deg)
+		if cap(seen) < deg {
+			seen = make([]bool, deg)
+		}
+		seen = seen[:deg]
+		for i := range seen {
+			seen[i] = false
+		}
+		row := backing[off : off+deg : off+deg]
+		off += deg
 		for p0, idx := range perm[v] {
 			if idx < 0 || idx >= deg || seen[idx] {
 				return nil, fmt.Errorf("perm[%d] is not a permutation of 0..%d", v, deg-1)
 			}
 			seen[idx] = true
-			w := g.Neighbors(v)[idx]
-			ports.nbrByPort[v][p0] = w
-			ports.portTo[v][w] = p0 + 1
+			row[p0] = g.Neighbors(v)[idx]
 		}
+		ports.nbrByPort[v] = row
 	}
 	return ports, nil
 }
@@ -83,16 +90,20 @@ func (pt *Ports) NeighborAt(v, p int) (int, error) {
 }
 
 // Port returns prt(v, {v,w}): the port number of edge {v,w} at v, or an
-// error if w is not a neighbor of v.
+// error if w is not a neighbor of v. The lookup scans v's port row, which
+// is linear in deg(v) — faster than a map at the degrees that occur here.
 func (pt *Ports) Port(v, w int) (int, error) {
-	if v < 0 || v >= len(pt.portTo) {
+	if v < 0 || v >= len(pt.nbrByPort) {
 		return 0, fmt.Errorf("node %d out of range", v)
 	}
-	p, ok := pt.portTo[v][w]
-	if !ok {
-		return 0, fmt.Errorf("%d is not a neighbor of %d", w, v)
+	if w >= 0 {
+		for p0, x := range pt.nbrByPort[v] {
+			if x == w {
+				return p0 + 1, nil
+			}
+		}
 	}
-	return p, nil
+	return 0, fmt.Errorf("%d is not a neighbor of %d", w, v)
 }
 
 // MustPort is Port but panics on error; for use where {v,w} is an edge by
@@ -144,19 +155,18 @@ func InducedPorts(pt *Ports, sub *Graph, orig []int) (*Ports, error) {
 	if len(orig) != sub.N() {
 		return nil, fmt.Errorf("orig maps %d nodes, subgraph has %d", len(orig), sub.N())
 	}
-	out := &Ports{
-		nbrByPort: make([][]int, sub.N()),
-		portTo:    make([]map[int]int, sub.N()),
-	}
+	out := &Ports{nbrByPort: make([][]int, sub.N())}
+	var pbuf []int
 	for v := 0; v < sub.N(); v++ {
-		out.portTo[v] = make(map[int]int, sub.Degree(v))
+		nbrs := sub.Neighbors(v)
+		pbuf = pbuf[:0]
 		maxPort := 0
-		for _, w := range sub.Neighbors(v) {
+		for _, w := range nbrs {
 			p, err := pt.Port(orig[v], orig[w])
 			if err != nil {
 				return nil, fmt.Errorf("restricting ports: %w", err)
 			}
-			out.portTo[v][w] = p
+			pbuf = append(pbuf, p)
 			if p > maxPort {
 				maxPort = p
 			}
@@ -165,8 +175,8 @@ func InducedPorts(pt *Ports, sub *Graph, orig []int) (*Ports, error) {
 		for i := range row {
 			row[i] = -1
 		}
-		for _, w := range sub.Neighbors(v) {
-			row[out.portTo[v][w]-1] = w
+		for i, w := range nbrs {
+			row[pbuf[i]-1] = w
 		}
 		out.nbrByPort[v] = row
 	}
@@ -203,9 +213,6 @@ func (pt *Ports) Validate(g *Graph) error {
 				return fmt.Errorf("node %d has two ports to neighbor %d", v, w)
 			}
 			seen[w] = true
-			if got := pt.portTo[v][w]; got != p0+1 {
-				return fmt.Errorf("inconsistent reverse map at node %d neighbor %d: %d != %d", v, w, got, p0+1)
-			}
 		}
 	}
 	return nil

@@ -24,7 +24,8 @@ package graph
 // lexicographic rank of the first prefixLen symbols (the shortest prefix
 // with at least shards distinct values): a prefix of rank r belongs to
 // shard r % shards, and the shard enumerates only its own prefix subtrees,
-// each in full lexicographic order.
+// each in full lexicographic order. Like EnumLabelings, the slice passed to
+// fn is reused across calls; copy it to retain.
 func EnumLabelingsShard(n, alphabet, shard, shards int, fn func([]int) bool) {
 	if shards <= 1 {
 		if shard == 0 {
@@ -47,7 +48,7 @@ func EnumLabelingsShard(n, alphabet, shard, shards int, fn func([]int) bool) {
 	var suffix func(v int) bool
 	suffix = func(v int) bool {
 		if v == n {
-			return fn(append([]int(nil), lab...))
+			return fn(lab)
 		}
 		for a := 0; a < alphabet; a++ {
 			lab[v] = a
@@ -149,7 +150,8 @@ func EnumIDsShard(n, maxID, shard, shards int, fn func(IDs) bool) {
 
 // EnumGraphsShard calls fn with the graphs of EnumGraphs(n) assigned to the
 // given shard: the graph with edge mask m belongs to shard m % shards, so a
-// shard strides through the mask space directly.
+// shard strides through the mask space directly. Like EnumGraphs, the Graph
+// passed to fn is reused across calls; Clone it to retain.
 func EnumGraphsShard(n, shard, shards int, fn func(*Graph) bool) {
 	if shards <= 1 {
 		if shard == 0 {
@@ -162,11 +164,33 @@ func EnumGraphsShard(n, shard, shards int, fn func(*Graph) bool) {
 	}
 	pairs := allPairs(n)
 	total := 1 << len(pairs)
+	deg := make([]int, n)
+	g := New(n)
+	backing := make([]int, n*max(n-1, 0))
 	for mask := shard; mask < total; mask += shards {
-		g := New(n)
+		// Same reused-Graph construction as EnumGraphs; see there.
+		for v := range deg {
+			deg[v] = 0
+		}
 		for i, e := range pairs {
 			if mask&(1<<i) != 0 {
-				mustAddEdge(g, e[0], e[1])
+				deg[e[0]]++
+				deg[e[1]]++
+			}
+		}
+		off := 0
+		for v := 0; v < n; v++ {
+			if deg[v] > 0 {
+				g.adj[v] = backing[off : off : off+deg[v]]
+				off += deg[v]
+			} else {
+				g.adj[v] = nil
+			}
+		}
+		for i, e := range pairs {
+			if mask&(1<<i) != 0 {
+				g.adj[e[0]] = append(g.adj[e[0]], e[1])
+				g.adj[e[1]] = append(g.adj[e[1]], e[0])
 			}
 		}
 		if !fn(g) {

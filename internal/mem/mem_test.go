@@ -1,0 +1,139 @@
+package mem
+
+import "testing"
+
+func TestSlabPointerStability(t *testing.T) {
+	var s Slab[int]
+	var ptrs []*int
+	for i := 0; i < 10000; i++ {
+		p := s.Alloc()
+		if *p != 0 {
+			t.Fatalf("Alloc %d returned non-zero value %d", i, *p)
+		}
+		*p = i
+		ptrs = append(ptrs, p)
+	}
+	if s.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", s.Len())
+	}
+	for i, p := range ptrs {
+		if *p != i {
+			t.Fatalf("value %d moved or was overwritten: got %d", i, *p)
+		}
+	}
+}
+
+func TestSliceSlabIndependence(t *testing.T) {
+	var s SliceSlab[int]
+	a := s.Make(4)
+	b := s.Make(3)
+	for i := range a {
+		a[i] = 10 + i
+	}
+	for i := range b {
+		b[i] = 20 + i
+	}
+	// Appending to an earlier slice must not bleed into a later one.
+	a = append(a, 99)
+	if b[0] != 20 {
+		t.Fatalf("append to a overwrote b: b = %v", b)
+	}
+	if len(a) != 5 || a[4] != 99 {
+		t.Fatalf("append to a lost data: a = %v", a)
+	}
+	if got := s.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	if s.Make(0) != nil {
+		t.Fatal("Make(0) should return nil")
+	}
+	// Requests larger than a chunk still work.
+	big := s.Make(100000)
+	if len(big) != 100000 {
+		t.Fatalf("big Make returned len %d", len(big))
+	}
+}
+
+func TestSlabAllocAmortized(t *testing.T) {
+	var s Slab[[4]int]
+	// Warm past the growth phase, then the steady state is one heap chunk
+	// per slabChunkMax allocations.
+	for i := 0; i < 4*slabChunkMax; i++ {
+		s.Alloc()
+	}
+	avg := testing.AllocsPerRun(3*slabChunkMax, func() { s.Alloc() })
+	if avg > 0.01 {
+		t.Fatalf("Slab.Alloc steady state allocates %.4f objects/op, want ~0", avg)
+	}
+}
+
+func TestScratchHelpers(t *testing.T) {
+	buf := make([]int, 8)
+	for i := range buf {
+		buf[i] = 7
+	}
+	got := Ints(buf, 4)
+	if len(got) != 4 || &got[0] != &buf[0] {
+		t.Fatalf("Ints should reuse the backing array")
+	}
+	got = Ints(buf[:0], 16)
+	if len(got) != 16 {
+		t.Fatalf("Ints grow: len = %d", len(got))
+	}
+	z := ZeroInts(buf, 6)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("ZeroInts left z[%d] = %d", i, v)
+		}
+	}
+	b := Bytes(nil, 5)
+	if len(b) != 5 {
+		t.Fatalf("Bytes len = %d", len(b))
+	}
+	if got := Bytes(b, 3); &got[0] != &b[0] {
+		t.Fatal("Bytes should reuse the backing array")
+	}
+}
+
+func TestPoolResetDiscipline(t *testing.T) {
+	type scratch struct{ buf []int }
+	p := Pool[scratch]{
+		New:   func() *scratch { return &scratch{buf: make([]int, 0, 8)} },
+		Reset: func(s *scratch) { s.buf = s.buf[:0] },
+	}
+	s := p.Get()
+	s.buf = append(s.buf, 1, 2, 3)
+	p.Put(s)
+	s2 := p.Get()
+	if len(s2.buf) != 0 {
+		t.Fatalf("recycled scratch not Reset: len = %d", len(s2.buf))
+	}
+}
+
+func TestFreeListLIFOAndReset(t *testing.T) {
+	n := 0
+	f := FreeList[int]{
+		New:   func() *int { n++; x := -n; return &x },
+		Reset: func(x *int) { *x = 0 },
+	}
+	a, b := f.Get(), f.Get()
+	if n != 2 {
+		t.Fatalf("New called %d times, want 2", n)
+	}
+	*a, *b = 10, 20
+	f.Put(a)
+	f.Put(b)
+	got := f.Get()
+	if got != b {
+		t.Fatal("FreeList should reuse LIFO")
+	}
+	if *got != 0 {
+		t.Fatalf("recycled value not Reset: %d", *got)
+	}
+	if f.Get() != a {
+		t.Fatal("second Get should return the first Put object")
+	}
+	if f.Get() == nil || n != 3 {
+		t.Fatalf("empty list should call New; n = %d", n)
+	}
+}

@@ -38,8 +38,19 @@ type builder struct {
 
 	accepting []bool
 	loops     []bool
-	edges     map[[2]view.Handle]bool
+	edges     pairSet
 	handles   []view.Handle
+
+	// arena backs the instantiated candidate views: the interner may retain
+	// any of them as a class representative, so they are slab-allocated and
+	// released wholesale with the builder instead of one heap object per
+	// template-memo miss.
+	arena view.Arena
+	// scratch probes the interner before any arena allocation: most
+	// template-memo misses are still interner hits (another labeling or
+	// another worker saw the class first), and for those the lookup view
+	// never needs to outlive the absorb call.
+	scratch view.View
 
 	// Single-entry template cache, keyed on the identity of the instance's
 	// label-independent parts.
@@ -59,6 +70,7 @@ type builder struct {
 	// parallel driver reads them only after its WaitGroup barrier.
 	nInstances      int64 // labeled instances absorbed
 	nViews          int64 // views instantiated + interned (template-memo misses)
+	nLookupHits     int64 // scratch-probe interner hits (no arena copy needed)
 	nTmplMemoHits   int64 // views served from the per-node label-key memo
 	nTemplatesBuilt int64 // template cache rebuilds (instance identity changed)
 }
@@ -70,7 +82,6 @@ func newBuilder(d core.Decoder, md *core.MemoDecoder, in *view.Interner, where s
 		where: where,
 		anon:  d.Anonymous(),
 		r:     d.Rounds(),
-		edges: make(map[[2]view.Handle]bool),
 	}
 }
 
@@ -131,8 +142,20 @@ func (b *builder) absorb(l core.Labeled) {
 			continue
 		}
 		b.nViews++
-		mu := t.Instantiate(l.Labels)
-		h := b.in.Intern(mu)
+		// Probe with the scratch view first: on a hit (the common case) no
+		// durable view is needed at all. Only a genuinely new class — or a
+		// race where another worker interns it between Lookup and Intern,
+		// which Intern resolves — pays for an arena-backed copy the interner
+		// may retain as representative. DecideInterned never retains the
+		// view (decoders are pure), so deciding on the scratch is safe.
+		mu := t.InstantiateInto(&b.scratch, l.Labels)
+		h, ok := b.in.Lookup(mu)
+		if ok {
+			b.nLookupHits++
+		} else {
+			mu = t.InstantiateIn(&b.arena, l.Labels)
+			h = b.in.Intern(mu)
+		}
 		b.tMemo[v][string(kb)] = h
 		handles = append(handles, h)
 		b.grow(int(h) + 1)
@@ -148,26 +171,23 @@ func (b *builder) absorb(l core.Labeled) {
 			b.loops[ha] = true
 			continue
 		}
-		if ha > hb {
-			ha, hb = hb, ha
-		}
-		b.edges[[2]view.Handle{ha, hb}] = true
+		b.edges.add(packPair(ha, hb))
 	}
 }
 
-// mergeBuilders unions the per-worker accepting/loop sets and edge maps.
-// Handles are global (one shared interner), so the union is positional.
-func mergeBuilders(parts []*builder) (accepting, loops []bool, edges map[[2]view.Handle]bool) {
-	maxLen, total := 0, 0
+// mergeBuilders unions the per-worker accepting/loop sets and CSR edge
+// streams. Handles are global (one shared interner), so the union is
+// positional; the merged edge pairs come back sorted and deduplicated
+// (mergePairs).
+func mergeBuilders(parts []*builder) (accepting, loops []bool, edges []uint64) {
+	maxLen := 0
 	for _, p := range parts {
 		if len(p.accepting) > maxLen {
 			maxLen = len(p.accepting)
 		}
-		total += len(p.edges)
 	}
 	accepting = make([]bool, maxLen)
 	loops = make([]bool, maxLen)
-	edges = make(map[[2]view.Handle]bool, total)
 	for _, p := range parts {
 		for h, a := range p.accepting {
 			if a {
@@ -179,18 +199,19 @@ func mergeBuilders(parts []*builder) (accepting, loops []bool, edges map[[2]view
 				loops[h] = true
 			}
 		}
-		for e := range p.edges {
-			edges[e] = true
-		}
 	}
-	return accepting, loops, edges
+	return accepting, loops, mergePairs(parts)
 }
 
 // assemble keeps only accepting views and builds the NGraph in the
 // deterministic canonical (legacy string) key-sorted node order — handle
 // values depend on intern order and never leak into the output, so the
 // result is bit-identical to the historical string-keyed construction.
-func assemble(in *view.Interner, accepting, loops []bool, edges map[[2]view.Handle]bool) (*NGraph, error) {
+// edges is the merged CSR pair stream: distinct packed handle pairs in
+// ascending order (mergePairs). Distinct handle pairs map to distinct node
+// pairs (the handle→index map is injective), so no HasEdge filtering is
+// needed.
+func assemble(in *view.Interner, accepting, loops []bool, edges []uint64) (*NGraph, error) {
 	type node struct {
 		h   view.Handle
 		key string
@@ -207,7 +228,7 @@ func assemble(in *view.Interner, accepting, loops []bool, edges map[[2]view.Hand
 	ng := &NGraph{
 		views: make([]*view.View, len(nodes)),
 		index: make(map[string]int, len(nodes)),
-		bin:   make(map[string]int, len(nodes)),
+		in:    in,
 		loops: make(map[int]bool),
 	}
 	idx := make([]int, in.Len())
@@ -215,22 +236,20 @@ func assemble(in *view.Interner, accepting, loops []bool, edges map[[2]view.Hand
 		idx[i] = -1
 	}
 	for i, nd := range nodes {
-		rep := in.ViewOf(nd.h)
-		ng.views[i] = rep
+		ng.views[i] = in.ViewOf(nd.h)
 		ng.index[nd.key] = i
-		ng.bin[string(rep.BinKey())] = i
 		idx[nd.h] = i
 	}
+	ng.hidx = idx
 	ng.g = graph.New(len(nodes))
-	for e := range edges {
-		ia, ib := idx[e[0]], idx[e[1]]
+	for _, e := range edges {
+		a, b := unpackPair(e)
+		ia, ib := idx[a], idx[b]
 		if ia < 0 || ib < 0 {
 			continue // an endpoint never accepts anywhere
 		}
-		if !ng.g.HasEdge(ia, ib) {
-			if err := ng.g.AddEdge(ia, ib); err != nil {
-				return nil, fmt.Errorf("adding compatibility edge: %w", err)
-			}
+		if err := ng.g.AddEdge(ia, ib); err != nil {
+			return nil, fmt.Errorf("adding compatibility edge: %w", err)
 		}
 	}
 	for h, lo := range loops {

@@ -1,0 +1,103 @@
+package nbhd
+
+import (
+	"slices"
+
+	"hidinglcp/internal/view"
+)
+
+// This file implements the CSR-style edge accumulator of the builders: the
+// compatibility edge {μa, μb} is packed into one uint64 (smaller handle in
+// the high half), deduplicated through an open-addressed membership table,
+// and the per-worker pair lists are merged by append → sort → compact. The
+// packed stream replaces the map[[2]view.Handle]bool tables: appends and
+// probes stay allocation-free in steady state, and the merged, sorted pair
+// slice is consumed directly by assemble.
+
+// packPair packs an unordered, loop-free handle pair with the smaller
+// handle in the high 32 bits. Loops are excluded by the builder (ha == hb
+// goes to the loops table), so a < b and the packed value is never 0 —
+// which is what lets pairSet use 0 as its empty-slot sentinel.
+func packPair(a, b view.Handle) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// unpackPair inverts packPair.
+func unpackPair(p uint64) (a, b view.Handle) {
+	return view.Handle(p >> 32), view.Handle(uint32(p))
+}
+
+// pairSet accumulates distinct packed pairs: an insertion-ordered pair list
+// plus an open-addressed (linear probing, power-of-two) membership table.
+// The zero value is ready to use; not safe for concurrent use.
+type pairSet struct {
+	table []uint64 // 0 = empty slot (0 is not a valid packed pair)
+	pairs []uint64
+}
+
+// add inserts k if absent. k must be a packPair result (nonzero).
+func (s *pairSet) add(k uint64) {
+	if len(s.pairs)*4 >= len(s.table)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.table) - 1)
+	i := pairHash(k) & mask
+	for {
+		switch s.table[i] {
+		case 0:
+			s.table[i] = k
+			s.pairs = append(s.pairs, k)
+			return
+		case k:
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// len returns the number of distinct pairs added.
+func (s *pairSet) len() int { return len(s.pairs) }
+
+// grow doubles the membership table and rehashes from the pair list.
+func (s *pairSet) grow() {
+	size := 2 * len(s.table)
+	if size == 0 {
+		size = 64
+	}
+	nt := make([]uint64, size)
+	mask := uint64(size - 1)
+	for _, k := range s.pairs {
+		i := pairHash(k) & mask
+		for nt[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nt[i] = k
+	}
+	s.table = nt
+}
+
+// pairHash mixes the packed pair for open addressing (Fibonacci multiplier
+// plus an xor-fold so both halves of the key reach the low bits).
+func pairHash(k uint64) uint64 {
+	k *= 0x9E3779B97F4A7C15
+	return k ^ (k >> 29)
+}
+
+// mergePairs concatenates per-worker distinct-pair lists and sorts and
+// deduplicates the union (workers discover overlapping pair sets) into the
+// canonical ascending CSR order assemble consumes.
+func mergePairs(parts []*builder) []uint64 {
+	total := 0
+	for _, p := range parts {
+		total += p.edges.len()
+	}
+	edges := make([]uint64, 0, total)
+	for _, p := range parts {
+		edges = append(edges, p.edges.pairs...)
+	}
+	slices.Sort(edges)
+	return slices.Compact(edges)
+}

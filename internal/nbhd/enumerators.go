@@ -49,20 +49,23 @@ func ProverLabeled(s core.Scheme, insts ...core.Instance) Enumerator {
 // AllLabelings returns an enumerator producing every labeling of every
 // instance over the given alphabet (|alphabet|^n labelings per instance).
 // This is the Lemma 3.1 search restricted to a family and an alphabet;
-// callers keep instances small.
+// callers keep instances small. The yielded Labeled's label slice is reused
+// across labelings of one instance and is valid only during the yield; copy
+// it to retain (the builders copy label strings into views immediately).
 func AllLabelings(alphabet []string, insts ...core.Instance) Enumerator {
 	return allLabelingsShard(alphabet, insts, 0, 1)
 }
 
 // allLabelingsShard enumerates, per instance, the labelings assigned to the
 // given shard of the labeling-prefix partition (graph.EnumLabelingsShard).
-// shard 0 of 1 is the full sequential enumeration.
+// shard 0 of 1 is the full sequential enumeration. One label slice is
+// reused across all labelings of one instance; see AllLabelings.
 func allLabelingsShard(alphabet []string, insts []core.Instance, shard, shards int) Enumerator {
 	return func(yield func(core.Labeled) bool) error {
 		for _, inst := range insts {
 			stopped := false
+			labels := make([]string, inst.G.N())
 			graph.EnumLabelingsShard(inst.G.N(), len(alphabet), shard, shards, func(idx []int) bool {
-				labels := make([]string, inst.G.N())
 				for v, a := range idx {
 					labels[v] = alphabet[a]
 				}

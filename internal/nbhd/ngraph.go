@@ -35,7 +35,8 @@ type Enumerator func(yield func(core.Labeled) bool) error
 type NGraph struct {
 	views []*view.View   // views[i] is a representative of node i
 	index map[string]int // canonical view key -> node index
-	bin   map[string]int // binary canonical key (string-cast) -> node index
+	in    *view.Interner // the build's interner, for handle-based probes
+	hidx  []int          // interner handle -> node index, -1 if not accepting
 	g     *graph.Graph   // loop-free compatibility edges
 	loops map[int]bool   // views adjacent to themselves in some yes-instance
 }
@@ -59,7 +60,8 @@ func Build(d core.Decoder, enum Enumerator) (*NGraph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("enumerating instances: %w", err)
 	}
-	return assemble(in, b.accepting, b.loops, b.edges)
+	accepting, loops, edges := mergeBuilders([]*builder{b})
+	return assemble(in, accepting, loops, edges)
 }
 
 // Size returns the number of accepting views (nodes of V(D, n)).
@@ -84,13 +86,18 @@ func (ng *NGraph) IndexOf(key string) int {
 }
 
 // IndexOfView returns the node index of mu's view class, or -1 if mu is not
-// an accepting view of the slice. It probes by binary canonical key, which
-// partitions views exactly as the legacy string key but is far cheaper to
-// compute; callers on the hot path (the Lemma 3.2 extraction decoder, the
+// an accepting view of the slice. It resolves through the build's interner
+// handle — one binary-key probe of the striped intern table, then a dense
+// handle→index slice — which is both cheaper than a dedicated key→index map
+// and free of the per-node string-cast copies the old map cost at assembly;
+// callers on the hot path (the Lemma 3.2 extraction decoder, the
 // forgetfulness walks) use it instead of IndexOf(mu.Key()).
 func (ng *NGraph) IndexOfView(mu *view.View) int {
-	if i, ok := ng.bin[string(mu.BinKey())]; ok {
-		return i
+	if ng.in == nil {
+		return -1
+	}
+	if h, ok := ng.in.Lookup(mu); ok && int(h) < len(ng.hidx) {
+		return ng.hidx[h]
 	}
 	return -1
 }

@@ -88,19 +88,23 @@ func harvestBuildMetrics(sc obs.Scope, parts []*builder, in *view.Interner, md *
 	if !sc.Enabled() {
 		return
 	}
-	var instances, views, tmplHits, templates int64
+	var instances, views, tmplHits, templates, lookupHits int64
 	for _, p := range parts {
 		instances += p.nInstances
 		views += p.nViews
 		tmplHits += p.nTmplMemoHits
 		templates += p.nTemplatesBuilt
+		lookupHits += p.nLookupHits
 	}
 	sc.Counter("nbhd.instances").Add(instances)
 	sc.Counter("nbhd.views.extracted").Add(views)
 	sc.Counter("nbhd.views.template_memo_hits").Add(tmplHits)
 	sc.Counter("nbhd.templates.built").Add(templates)
+	// Scratch-probe Lookup hits count as intern hits: every extracted view
+	// still consults the interner exactly once (Lookup on a hit, Intern on a
+	// miss), the probe path just avoids the arena copy.
 	hits, misses := in.Stats()
-	sc.Counter("nbhd.intern.hits").Add(int64(hits))
+	sc.Counter("nbhd.intern.hits").Add(int64(hits) + lookupHits)
 	sc.Counter("nbhd.intern.misses").Add(int64(misses))
 	sc.Gauge("nbhd.intern.classes").Set(int64(in.Len()))
 	calls, inner := md.Stats()

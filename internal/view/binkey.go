@@ -3,9 +3,30 @@ package view
 import (
 	"bytes"
 	"encoding/binary"
-	"sort"
+	"slices"
 	"strings"
+
+	"hidinglcp/internal/mem"
 )
+
+// keyScratch holds every per-call buffer of the canonical-key computations
+// (Key and BinKey): orderings, refinement colors, flat arm storage, and the
+// serialization candidates. The buffers are recycled through keyScratchPool;
+// nothing reachable from a scratch may be returned to a caller — the final
+// key is always a fresh copy (see the escape rules of internal/mem).
+type keyScratch struct {
+	ord, color, next []int // refinement working set
+	armStart, armNbr []int
+	armPorts         [][2]int
+	arms             [][3]int
+	classNodes       []int   // center + color-grouped rest; classes subslice it
+	classes          [][]int // class headers over classNodes
+	tmp              []int   // idOrder duplicate detection
+	order, pos       []int   // serialization ordering and its inverse
+	cand, best       []byte  // minimization candidates
+}
+
+var keyScratchPool mem.Pool[keyScratch]
 
 // BinKey returns a compact binary canonical key: two views have the same
 // binary key iff they are equal as views, exactly as with Key (the
@@ -29,10 +50,13 @@ func (v *View) BinKey() []byte {
 }
 
 func (v *View) computeBinKey() []byte {
-	if order, ok := v.idOrder(); ok {
-		return v.appendBinSerialize(nil, order, make([]int, v.N()))
+	sc := keyScratchPool.Get()
+	defer keyScratchPool.Put(sc)
+	if v.idOrderInto(sc) {
+		sc.pos = mem.Ints(sc.pos, v.N())
+		return v.appendBinSerialize(nil, sc.order, sc.pos)
 	}
-	return v.minBinKey()
+	return v.minBinKey(sc)
 }
 
 // appendBinSerialize renders the view under the given node ordering into
@@ -86,10 +110,10 @@ func (v *View) appendBinSerialize(dst []byte, order, pos []int) []byte {
 // serialization over an isomorphism-invariant set of orderings is
 // canonical, so minBinKey and minKey induce the same view partition even
 // though the byte strings differ.
-func (v *View) minBinKey() []byte {
-	classes := v.refinedClassesInt()
-	pos := make([]int, v.N())
-	order := make([]int, 0, v.N())
+func (v *View) minBinKey(sc *keyScratch) []byte {
+	classes := v.refinedClassesInt(sc)
+	n := v.N()
+	sc.pos = mem.Ints(sc.pos, n)
 	multi := false
 	for _, c := range classes {
 		if len(c) > 1 {
@@ -97,31 +121,55 @@ func (v *View) minBinKey() []byte {
 			break
 		}
 	}
+	order := mem.Ints(sc.order, n)[:0]
+	for _, c := range classes {
+		order = append(order, c...)
+	}
+	sc.order = order
 	if !multi {
 		// Discrete refinement: the ordering is forced, no search needed.
-		for _, c := range classes {
-			order = append(order, c...)
-		}
-		return v.appendBinSerialize(nil, order, pos)
+		return v.appendBinSerialize(nil, order, sc.pos)
 	}
-	var best, cand []byte
-	var rec func(ci int)
-	rec = func(ci int) {
+	// The search permutes each class segment of order in place; the
+	// byte-wise minimum over the whole ordering set is order-independent.
+	sc.best = sc.best[:0]
+	hasBest := false
+	var rec func(ci, lo int)
+	rec = func(ci, lo int) {
 		if ci == len(classes) {
-			cand = v.appendBinSerialize(cand[:0], order, pos)
-			if best == nil || bytes.Compare(cand, best) < 0 {
-				best = append(best[:0], cand...)
+			sc.cand = v.appendBinSerialize(sc.cand[:0], order, sc.pos)
+			if !hasBest || bytes.Compare(sc.cand, sc.best) < 0 {
+				sc.best = append(sc.best[:0], sc.cand...)
+				hasBest = true
 			}
 			return
 		}
-		permute(classes[ci], func(perm []int) {
-			order = append(order, perm...)
-			rec(ci + 1)
-			order = order[:len(order)-len(perm)]
+		permuteInPlace(order[lo:lo+len(classes[ci])], func() {
+			rec(ci+1, lo+len(classes[ci]))
 		})
 	}
+	rec(0, 0)
+	out := make([]byte, len(sc.best))
+	copy(out, sc.best)
+	return out
+}
+
+// permuteInPlace runs fn under every permutation of s, restoring the
+// original order before returning.
+func permuteInPlace(s []int, fn func()) {
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s) {
+			fn()
+			return
+		}
+		for j := i; j < len(s); j++ {
+			s[i], s[j] = s[j], s[i]
+			rec(i + 1)
+			s[i], s[j] = s[j], s[i]
+		}
+	}
 	rec(0)
-	return best
 }
 
 // refinedClassesInt is the integer-color counterpart of refinedClasses:
@@ -130,13 +178,16 @@ func (v *View) minBinKey() []byte {
 // (port out, port back, neighbor color) arms, all over int arrays — no
 // string signatures. The resulting partition is isomorphism-invariant, as
 // is the class order (by color rank, center always first on its own), which
-// is all minBinKey needs for canonicity.
-func (v *View) refinedClassesInt() [][]int {
+// is all minBinKey needs for canonicity. All working storage comes from the
+// scratch; the returned class slices alias sc.classNodes and are valid only
+// until the scratch is recycled.
+func (v *View) refinedClassesInt(sc *keyScratch) [][]int {
 	n := v.N()
-	ord := make([]int, n)
+	ord := mem.Ints(sc.ord, n)
 	for i := range ord {
 		ord[i] = i
 	}
+	sc.ord = ord
 	initCmp := func(a, b int) int {
 		if v.Dist[a] != v.Dist[b] {
 			if v.Dist[a] < v.Dist[b] {
@@ -161,8 +212,10 @@ func (v *View) refinedClassesInt() [][]int {
 		}
 		return 0
 	}
-	sort.Slice(ord, func(x, y int) bool { return initCmp(ord[x], ord[y]) < 0 })
-	color := make([]int, n)
+	insertionSortCmp(ord, initCmp)
+	color := mem.Ints(sc.color, n)
+	sc.color = color
+	color[ord[0]] = 0
 	colors := 1
 	for k := 1; k < n; k++ {
 		if initCmp(ord[k-1], ord[k]) != 0 {
@@ -174,14 +227,23 @@ func (v *View) refinedClassesInt() [][]int {
 	if colors < n {
 		// Flat arm storage: armStart[i]..armStart[i+1] are node i's arms.
 		// Ports never change across rounds, so they are gathered once.
-		armStart := make([]int, n+1)
+		armStart := mem.Ints(sc.armStart, n+1)
+		sc.armStart = armStart
+		armStart[0] = 0
 		for i := 0; i < n; i++ {
 			armStart[i+1] = armStart[i] + len(v.Adj[i])
 		}
 		m := armStart[n]
-		armNbr := make([]int, m)
-		armPorts := make([][2]int, m)
-		arms := make([][3]int, m)
+		armNbr := mem.Ints(sc.armNbr, m)
+		sc.armNbr = armNbr
+		if cap(sc.armPorts) < m {
+			sc.armPorts = make([][2]int, m)
+		}
+		armPorts := sc.armPorts[:m]
+		if cap(sc.arms) < m {
+			sc.arms = make([][3]int, m)
+		}
+		arms := sc.arms[:m]
 		for i := 0; i < n; i++ {
 			for k, w := range v.Adj[i] {
 				j := armStart[i] + k
@@ -189,7 +251,8 @@ func (v *View) refinedClassesInt() [][]int {
 				armPorts[j] = [2]int{v.Ports[[2]int{i, w}], v.Ports[[2]int{w, i}]}
 			}
 		}
-		next := make([]int, n)
+		next := mem.Ints(sc.next, n)
+		sc.next = next
 		armCmp := func(a, b int) int {
 			if color[a] != color[b] {
 				if color[a] < color[b] {
@@ -223,7 +286,7 @@ func (v *View) refinedClassesInt() [][]int {
 			for i := 0; i < n; i++ {
 				sortArms(arms[armStart[i]:armStart[i+1]])
 			}
-			sort.Slice(ord, func(x, y int) bool { return armCmp(ord[x], ord[y]) < 0 })
+			insertionSortCmp(ord, armCmp)
 			nc := 1
 			next[ord[0]] = 0
 			for k := 1; k < n; k++ {
@@ -249,18 +312,20 @@ func (v *View) refinedClassesInt() [][]int {
 
 	// Center first on its own, then non-center nodes grouped by final color
 	// in increasing order, increasing node index within a class.
-	rest := make([]int, 0, n-1)
+	nodes := mem.Ints(sc.classNodes, n)
+	sc.classNodes = nodes
+	nodes[0] = Center
+	rest := nodes[1:1]
 	for i := 1; i < n; i++ {
 		rest = append(rest, i)
 	}
-	sort.Slice(rest, func(x, y int) bool {
-		a, b := rest[x], rest[y]
+	slices.SortFunc(rest, func(a, b int) int {
 		if color[a] != color[b] {
-			return color[a] < color[b]
+			return color[a] - color[b]
 		}
-		return a < b
+		return a - b
 	})
-	classes := [][]int{{Center}}
+	classes := append(sc.classes[:0], nodes[0:1:1])
 	for lo := 0; lo < len(rest); {
 		hi := lo + 1
 		for hi < len(rest) && color[rest[hi]] == color[rest[lo]] {
@@ -269,7 +334,19 @@ func (v *View) refinedClassesInt() [][]int {
 		classes = append(classes, rest[lo:hi:hi])
 		lo = hi
 	}
+	sc.classes = classes
 	return classes
+}
+
+// insertionSortCmp sorts s by the three-way comparator; views are tiny, so
+// the quadratic sort beats the sort package's interface machinery and
+// allocates nothing.
+func insertionSortCmp(s []int, cmp func(a, b int) int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && cmp(s[j], s[j-1]) < 0; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 func sortArms(s [][3]int) {

@@ -1,8 +1,11 @@
 package view
 
 import (
+	"slices"
 	"sort"
 	"strconv"
+
+	"hidinglcp/internal/mem"
 )
 
 // Key returns a canonical string key: two views have the same key iff they
@@ -29,10 +32,13 @@ func (v *View) Key() string {
 }
 
 func (v *View) computeKey() string {
-	if order, ok := v.idOrder(); ok {
-		return string(v.appendSerialize(nil, order, make([]int, v.N())))
+	sc := keyScratchPool.Get()
+	defer keyScratchPool.Put(sc)
+	if v.idOrderInto(sc) {
+		sc.pos = mem.Ints(sc.pos, v.N())
+		return string(v.appendSerialize(nil, sc.order, sc.pos))
 	}
-	return v.minKey()
+	return v.minKey(sc)
 }
 
 // Equal reports whether two views are equal in the sense of Key. It compares
@@ -47,35 +53,44 @@ func (v *View) Equal(w *View) bool {
 	return string(v.BinKey()) == string(w.BinKey())
 }
 
-// idOrderSortCutoff is the view size above which idOrder switches from
-// insertion sort to sort.Slice; below it the insertion sort wins on
+// idOrderSortCutoff is the view size above which idOrderInto switches from
+// insertion sort to slices.SortFunc; below it the insertion sort wins on
 // constant factors (see BenchmarkIDOrder for the crossover).
 const idOrderSortCutoff = 24
 
-// idOrder returns nodes sorted by (distance, identifier) if all identifiers
-// are nonzero and distinct.
-func (v *View) idOrder() ([]int, bool) {
-	seen := make(map[int]bool, len(v.IDs))
-	for _, id := range v.IDs {
-		if id == 0 || seen[id] {
-			return nil, false
+// idOrderInto computes the nodes sorted by (distance, identifier) into
+// sc.order and reports whether all identifiers are nonzero and distinct
+// (the precondition for the identifier-determined canonical order).
+func (v *View) idOrderInto(sc *keyScratch) bool {
+	n := v.N()
+	tmp := mem.Ints(sc.tmp, n)
+	sc.tmp = tmp
+	for i, id := range v.IDs {
+		if id == 0 {
+			return false
 		}
-		seen[id] = true
+		tmp[i] = id
 	}
-	order := make([]int, v.N())
+	slices.Sort(tmp)
+	for i := 1; i < n; i++ {
+		if tmp[i] == tmp[i-1] {
+			return false
+		}
+	}
+	order := mem.Ints(sc.order, n)
+	sc.order = order
 	for i := range order {
 		order[i] = i
 	}
 	dist, ids := v.Dist, v.IDs
-	if len(order) > idOrderSortCutoff {
-		sort.Slice(order, func(a, b int) bool {
-			x, y := order[a], order[b]
+	if n > idOrderSortCutoff {
+		slices.SortFunc(order, func(x, y int) int {
 			if dist[x] != dist[y] {
-				return dist[x] < dist[y]
+				return dist[x] - dist[y]
 			}
-			return ids[x] < ids[y]
+			return ids[x] - ids[y]
 		})
-		return order, true
+		return true
 	}
 	// Insertion sort by (dist, id); small views.
 	for i := 1; i < len(order); i++ {
@@ -87,7 +102,7 @@ func (v *View) idOrder() ([]int, bool) {
 			order[j-1], order[j] = order[j], order[j-1]
 		}
 	}
-	return order, true
+	return true
 }
 
 // minKey computes the lexicographically smallest serialization over all
@@ -95,28 +110,33 @@ func (v *View) idOrder() ([]int, bool) {
 // refined invariant classes in increasing order). Only nodes sharing an
 // isomorphism-invariant signature may swap, which keeps the search tiny on
 // realistic views while remaining canonical.
-func (v *View) minKey() string {
+func (v *View) minKey(sc *keyScratch) string {
 	classes := v.refinedClasses()
-	var best, cand []byte
-	pos := make([]int, v.N())
-	order := make([]int, 0, v.N())
-	var rec func(ci int)
-	rec = func(ci int) {
+	n := v.N()
+	sc.pos = mem.Ints(sc.pos, n)
+	order := mem.Ints(sc.order, n)[:0]
+	for _, c := range classes {
+		order = append(order, c...)
+	}
+	sc.order = order
+	sc.best = sc.best[:0]
+	hasBest := false
+	var rec func(ci, lo int)
+	rec = func(ci, lo int) {
 		if ci == len(classes) {
-			cand = v.appendSerialize(cand[:0], order, pos)
-			if best == nil || string(cand) < string(best) {
-				best = append(best[:0], cand...)
+			sc.cand = v.appendSerialize(sc.cand[:0], order, sc.pos)
+			if !hasBest || string(sc.cand) < string(sc.best) {
+				sc.best = append(sc.best[:0], sc.cand...)
+				hasBest = true
 			}
 			return
 		}
-		permute(classes[ci], func(perm []int) {
-			order = append(order, perm...)
-			rec(ci + 1)
-			order = order[:len(order)-len(perm)]
+		permuteInPlace(order[lo:lo+len(classes[ci])], func() {
+			rec(ci+1, lo+len(classes[ci]))
 		})
 	}
-	rec(0)
-	return string(best)
+	rec(0, 0)
+	return string(sc.best)
 }
 
 // refinedClasses partitions local nodes into ordered classes by an
@@ -124,7 +144,9 @@ func (v *View) minKey() string {
 // degree, sorted incident-edge descriptors over neighbor signatures — a
 // Weisfeiler-Leman-style coloring). Permuting only within classes preserves
 // canonicity because equal-signature nodes are interchangeable in any
-// serialization-minimal ordering.
+// serialization-minimal ordering. This is the legacy string-signature
+// refinement behind Key; the BinKey hot path runs refinedClassesInt
+// instead.
 func (v *View) refinedClasses() [][]int {
 	n := v.N()
 	sig := make([]string, n)
@@ -240,23 +262,6 @@ func appendPaddedInt(b []byte, x, width int) []byte {
 		b = append(b, '0')
 	}
 	return append(b, s...)
-}
-
-func permute(items []int, fn func([]int)) {
-	perm := append([]int(nil), items...)
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(perm) {
-			fn(perm)
-			return
-		}
-		for j := i; j < len(perm); j++ {
-			perm[i], perm[j] = perm[j], perm[i]
-			rec(i + 1)
-			perm[i], perm[j] = perm[j], perm[i]
-		}
-	}
-	rec(0)
 }
 
 // appendSerialize renders the view under the given node ordering into dst.
