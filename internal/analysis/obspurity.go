@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ObsPurityAnalyzer keeps the observability layer one-directional: metrics
@@ -14,11 +15,14 @@ import (
 //     depends on when it was computed is not a function of the view, and
 //     nondet's internal/obs exemption must not become a tunnel for clock
 //     reads to re-enter decoders via obs helpers, and
-//   - any call into a package named "obs", whether a package-level function
-//     (obs.Now, obs.Since) or a method whose receiver type lives there
-//     (Counter.Inc, Scope.Counter, Histogram.Observe): reading a counter
-//     makes the verdict depend on how often the pipeline ran; writing one
-//     from Decide is receiver/global state by another name.
+//   - any call into a package named "obs" or its export subpackage (package
+//     path suffix "obs/export"), whether a package-level function (obs.Now,
+//     export.NewEventLog) or a method whose receiver type lives there
+//     (Counter.Inc, Scope.Counter, Histogram.Observe, EventLog.EmitLogEvent):
+//     reading a counter makes the verdict depend on how often the pipeline
+//     ran; writing one — or emitting a log event — from Decide is
+//     receiver/global state by another name, and would let telemetry feed
+//     back into verdicts.
 //
 // Sanctioned counting wrappers (core.InstrumentDecoder) carry
 // `//lint:ignore obspurity` directives; the runtime complement is the
@@ -33,6 +37,17 @@ var ObsPurityAnalyzer = &Analyzer{
 // obsPurityClock lists the time-package functions whose result varies call
 // to call; conversions (time.Duration) and arithmetic stay legal.
 var obsPurityClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// isObsLayerPkg reports whether pkg belongs to the observability layer the
+// purity contract fences off: the obs package itself (matched by name, so
+// the fixture replica counts too) or its export subpackage (matched by path
+// suffix, since its package name is "export").
+func isObsLayerPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Name() == "obs" || strings.HasSuffix(pkg.Path(), "obs/export")
+}
 
 func runObsPurity(pass *Pass) error {
 	for _, file := range pass.Files {
@@ -77,19 +92,20 @@ func checkObsPurityBody(pass *Pass, body *ast.BlockStmt) {
 					pass.Reportf(call.Pos(),
 						"Decide must not read the clock: call to time.%s makes the verdict depend on when it ran, not on the view",
 						sel.Sel.Name)
-				case pkgName.Imported().Name() == "obs":
+				case isObsLayerPkg(pkgName.Imported()):
 					pass.Reportf(call.Pos(),
-						"Decide must not call into the observability layer: obs.%s (metrics flow pipeline -> obs, never back into verdicts)",
-						sel.Sel.Name)
+						"Decide must not call into the observability layer: %s.%s (metrics flow pipeline -> obs, never back into verdicts)",
+						pkgName.Imported().Name(), sel.Sel.Name)
 				}
 				return true
 			}
 		}
-		// Method form: a call whose method is declared in a package named
-		// "obs" (Counter.Inc, Scope.Counter, ...), resolved through the
-		// type-checker so aliased and embedded receivers are covered.
+		// Method form: a call whose method is declared in the obs layer
+		// (Counter.Inc, Scope.Counter, EventLog.EmitLogEvent, ...), resolved
+		// through the type-checker so aliased and embedded receivers are
+		// covered.
 		if s, ok := pass.Info.Selections[sel]; ok {
-			if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Name() == "obs" {
+			if fn, ok := s.Obj().(*types.Func); ok && isObsLayerPkg(fn.Pkg()) {
 				pass.Reportf(call.Pos(),
 					"Decide must not call into the observability layer: %s.%s (metrics flow pipeline -> obs, never back into verdicts)",
 					exprString(sel.X), sel.Sel.Name)

@@ -1,0 +1,24 @@
+// Package export is a minimal replica of hidinglcp/internal/obs/export for
+// analyzer fixtures: the obspurity analyzer matches the "obs/export" path
+// suffix, so fixtures stay self-contained.
+package export
+
+// LogEvent mirrors the real structured log event.
+type LogEvent struct {
+	Name string
+}
+
+// EventLog mirrors the real JSONL event sink.
+type EventLog struct{}
+
+// NewEventLog mirrors the real constructor.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// EmitLogEvent mirrors the real sink method; a certflow sink.
+func (l *EventLog) EmitLogEvent(ev LogEvent) {}
+
+// Dropped mirrors the real rate-limit counter read.
+func (l *EventLog) Dropped() int64 { return 0 }
+
+// WritePrometheus mirrors the real exporter entry point.
+func WritePrometheus() error { return nil }

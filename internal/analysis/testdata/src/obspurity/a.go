@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"obs"
+	"obs/export"
 	"view"
 )
 
@@ -78,10 +79,27 @@ func (d *goodPure) Decide(mu *view.View) bool {
 	return time.Duration(local)*time.Millisecond < d.cutoff
 }
 
+// badEvents leaks its decision into the structured event log — and reads
+// the rate-limit counter back into the verdict. Both directions are banned:
+// the export subpackage is part of the observability layer.
+type badEvents struct{ log *export.EventLog }
+
+func (d *badEvents) Rounds() int     { return 1 }
+func (d *badEvents) Anonymous() bool { return true }
+
+func (d *badEvents) Decide(mu *view.View) bool {
+	d.log.EmitLogEvent(export.LogEvent{Name: "decide"}) // want "Decide must not call into the observability layer: d.log.EmitLogEvent"
+	if export.WritePrometheus() != nil { // want "Decide must not call into the observability layer: export.WritePrometheus"
+		return false
+	}
+	return d.log.Dropped() == 0 // want "Decide must not call into the observability layer: d.log.Dropped"
+}
+
 // reportOutside is free to use the clock and metrics: it does not have the
 // Decide signature, so it is outside the purity contract.
 func reportOutside(c *obs.Counter) time.Time {
 	c.Inc()
 	_ = obs.Now()
+	_ = export.NewEventLog()
 	return time.Now()
 }

@@ -3,9 +3,12 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hidinglcp/internal/obs"
+	"hidinglcp/internal/obs/export"
+	"hidinglcp/internal/obs/history"
 )
 
 // ObsFlags carries the observability flag values shared by every command
@@ -18,8 +21,21 @@ type ObsFlags struct {
 	// Progress enables periodic progress lines on stderr.
 	Progress bool
 	// Pprof is the listen address of the debug HTTP server ("" = off),
-	// serving net/http/pprof and an expvar snapshot of the metrics.
+	// serving net/http/pprof and a JSON snapshot of the metrics.
 	Pprof string
+	// Serve is the listen address of the telemetry server ("" = off):
+	// /metrics, /healthz, /readyz, /trace, /events, /debug/pprof.
+	Serve string
+	// EventsPath is the JSONL destination of the structured event log
+	// ("" = memory-only when the log exists at all).
+	EventsPath string
+	// HistoryDir appends the finalized manifest into this run-history
+	// directory ("" = off); cmd/obsdiff gates on it.
+	HistoryDir string
+
+	// Warn receives artifact-failure warnings (nil = os.Stderr). Tests
+	// inject a buffer here.
+	Warn io.Writer
 }
 
 // RegisterObsFlags declares the shared observability flags on the default
@@ -30,28 +46,49 @@ func RegisterObsFlags() *ObsFlags {
 	flag.StringVar(&f.MetricsJSON, "metrics-json", "", "write a run manifest (metrics, config, timings) to this JSON file")
 	flag.StringVar(&f.TracePath, "trace", "", "write the span/event trace to this JSON file")
 	flag.BoolVar(&f.Progress, "progress", false, "print periodic progress lines with ETA to stderr")
-	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof and a metrics snapshot on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.Serve, "serve", "", "serve live telemetry (/metrics, /healthz, /trace, /events, pprof) on this address (e.g. :9090)")
+	flag.StringVar(&f.EventsPath, "events", "", "write the structured event log (JSONL) to this file")
+	flag.StringVar(&f.HistoryDir, "history", "", "append the finalized run manifest into this history directory")
 	return &f
 }
 
+// enabled reports whether any observability flag asks for a live scope.
+func (f *ObsFlags) enabled() bool {
+	return f.MetricsJSON != "" || f.TracePath != "" || f.Progress ||
+		f.Pprof != "" || f.Serve != "" || f.EventsPath != "" || f.HistoryDir != ""
+}
+
+// warnTo returns the warning destination.
+func (f *ObsFlags) warnTo() io.Writer {
+	if f.Warn != nil {
+		return f.Warn
+	}
+	return os.Stderr
+}
+
 // Setup builds the observability scope the flags request and returns it
-// with the run manifest (nil unless -metrics-json is set; SetConfig on a
-// nil manifest is a safe no-op) and a finish callback. The callback must be
-// invoked exactly once with the run's error: it stops the progress
-// reporter, finalizes and writes the manifest and trace, shuts the pprof
-// server down, and returns the first error among the run itself and the
-// artifact writes.
+// with the run manifest (nil unless -metrics-json or -history is set;
+// SetConfig on a nil manifest is a safe no-op) and a finish callback. The
+// callback must be invoked exactly once with the run's error: it stops the
+// progress reporter, shuts the telemetry and pprof servers down, finalizes
+// and writes the manifest (and appends it to the history dir), writes the
+// trace, and closes the event log. Every artifact failure is warned
+// individually on Warn (default stderr); the returned error is the run's
+// own error when there is one, else the first artifact failure — so an
+// otherwise-clean run exits nonzero when its artifacts could not be
+// written instead of silently dropping them.
 //
 // With no flags set, the returned scope is the zero no-op Scope and finish
 // only forwards the run error — commands can call Setup unconditionally.
 func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifest, func(error) error) {
-	if f.MetricsJSON == "" && f.TracePath == "" && !f.Progress && f.Pprof == "" {
+	if !f.enabled() {
 		return obs.Scope{}, nil, func(runErr error) error { return runErr }
 	}
 
 	sc := obs.NewScope()
 	var tracer *obs.Tracer
-	if f.MetricsJSON != "" || f.TracePath != "" {
+	if f.MetricsJSON != "" || f.TracePath != "" || f.Serve != "" || f.HistoryDir != "" {
 		tracer = obs.NewTracer(0) // default capacity
 		sc = sc.WithTracer(tracer)
 	}
@@ -60,17 +97,47 @@ func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifes
 		prog = obs.NewProgress(os.Stderr, 0) // default interval
 		sc = sc.WithProgress(prog)
 	}
+
+	// The event log exists whenever something consumes it: an explicit
+	// -events file, or the -serve SSE tail (memory-only then).
+	var events *export.EventLog
+	if f.EventsPath != "" || f.Serve != "" {
+		log, err := export.NewEventLog(export.EventLogConfig{Path: f.EventsPath})
+		if err != nil {
+			fmt.Fprintf(f.warnTo(), "%s: event log: %v\n", tool, err)
+		} else {
+			events = log
+			sc = sc.WithEvents(events, obs.NewRunID(tool))
+		}
+	}
+
 	var manifest *obs.RunManifest
-	if f.MetricsJSON != "" {
+	if f.MetricsJSON != "" || f.HistoryDir != "" {
 		manifest = obs.NewManifest(tool, args)
+	}
+
+	var telemetry *export.Server
+	if f.Serve != "" {
+		srv, err := export.Serve(f.Serve, export.ServerOptions{
+			Registry: sc.Registry(),
+			Tracer:   tracer,
+			Events:   events,
+		})
+		if err != nil {
+			fmt.Fprintf(f.warnTo(), "%s: telemetry server: %v\n", tool, err)
+		} else {
+			telemetry = srv
+			telemetry.MarkReady()
+			fmt.Fprintf(os.Stderr, "%s: live telemetry on http://%s/metrics\n", tool, telemetry.Addr())
+		}
 	}
 	var stopPprof func() error
 	if f.Pprof != "" {
 		addr, stop, err := obs.ServeDebug(f.Pprof, sc.Registry())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", tool, err)
+			fmt.Fprintf(f.warnTo(), "%s: pprof server: %v\n", tool, err)
 		} else {
-			fmt.Fprintf(os.Stderr, "%s: pprof and expvar metrics on http://%s/debug/pprof/\n", tool, addr)
+			fmt.Fprintf(os.Stderr, "%s: pprof and metrics on http://%s/debug/pprof/\n", tool, addr)
 			stopPprof = stop
 		}
 	}
@@ -79,29 +146,50 @@ func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifes
 		if prog != nil {
 			prog.Close()
 		}
-		firstErr := runErr
-		record := func(err error) {
-			if err != nil && firstErr == nil {
-				firstErr = err
+		var firstArtifactErr error
+		record := func(what string, err error) {
+			if err == nil {
+				return
 			}
+			fmt.Fprintf(f.warnTo(), "%s: %s: %v\n", tool, what, err)
+			if firstArtifactErr == nil {
+				firstArtifactErr = err
+			}
+		}
+		// Stop the live plane first so nothing scrapes a half-finalized
+		// registry, then freeze and persist.
+		if telemetry != nil {
+			record("telemetry server shutdown", telemetry.Close())
+		}
+		if stopPprof != nil {
+			record("pprof server shutdown", stopPprof())
 		}
 		if manifest != nil {
 			manifest.Finalize(sc, runErr)
-			record(manifest.WriteFile(f.MetricsJSON))
+			if f.MetricsJSON != "" {
+				record("writing run manifest", manifest.WriteFile(f.MetricsJSON))
+			}
+			if f.HistoryDir != "" {
+				_, err := history.Append(f.HistoryDir, manifest)
+				record("appending run history", err)
+			}
 		}
 		if f.TracePath != "" && tracer != nil {
 			file, err := os.Create(f.TracePath)
 			if err != nil {
-				record(err)
+				record("writing trace", err)
 			} else {
-				record(tracer.WriteJSON(file))
-				record(file.Close())
+				record("writing trace", tracer.WriteJSON(file))
+				record("writing trace", file.Close())
 			}
 		}
-		if stopPprof != nil {
-			record(stopPprof())
+		if events != nil {
+			record("closing event log", events.Close())
 		}
-		return firstErr
+		if runErr != nil {
+			return runErr
+		}
+		return firstArtifactErr
 	}
 	return sc, manifest, finish
 }

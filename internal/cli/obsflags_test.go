@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hidinglcp/internal/obs"
@@ -102,5 +103,129 @@ func TestObsFlagsSetupErrorOutcome(t *testing.T) {
 	}
 	if m.Outcome != "error" || m.Error != "experiment failed" {
 		t.Errorf("outcome = %q, error = %q", m.Outcome, m.Error)
+	}
+}
+
+// TestObsFlagsHistoryAndEvents: -history alone still produces a manifest
+// (appended, not written to -metrics-json) and -events writes the JSONL
+// log.
+func TestObsFlagsHistoryAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	f := ObsFlags{
+		HistoryDir: filepath.Join(dir, "runs"),
+		EventsPath: filepath.Join(dir, "events.jsonl"),
+	}
+	sc, manifest, finish := f.Setup("test-tool", nil)
+	if !sc.Enabled() || manifest == nil {
+		t.Fatal("history-only setup did not build a live scope + manifest")
+	}
+	if !sc.EventsEnabled() {
+		t.Fatal("-events did not attach an event sink")
+	}
+	sc.Counter("demo.count").Inc()
+	sc.EmitEvent(obs.LevelInfo, "demo.event")
+	if err := finish(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(f.HistoryDir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("history dir entries = %v, %v", entries, err)
+	}
+	data, err := os.ReadFile(filepath.Join(f.HistoryDir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.RunManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "test-tool" || len(m.Metrics) == 0 {
+		t.Errorf("appended manifest = %+v", m)
+	}
+
+	events, err := os.ReadFile(f.EventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev obs.LogEvent
+	if err := json.Unmarshal([]byte(strings.SplitN(string(events), "\n", 2)[0]), &ev); err != nil {
+		t.Fatalf("event log line is not JSON: %v", err)
+	}
+	if ev.Name != "demo.event" || ev.Run == "" {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+// TestObsFlagsSurfacesWriteFailures is the satellite's failure path: an
+// unwritable manifest destination is warned about AND makes an otherwise
+// clean run return an error (nonzero exit), instead of best-effort
+// silence. The unwritable path nests under a regular file, which fails for
+// root too (permission bits would not).
+func TestObsFlagsSurfacesWriteFailures(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings strings.Builder
+	f := ObsFlags{
+		MetricsJSON: filepath.Join(blocker, "manifest.json"),
+		TracePath:   filepath.Join(blocker, "trace.json"),
+		Warn:        &warnings,
+	}
+	_, _, finish := f.Setup("test-tool", nil)
+	if err := finish(nil); err == nil {
+		t.Error("finish returned nil despite unwritable artifacts")
+	}
+	warned := warnings.String()
+	for _, want := range []string{"writing run manifest", "writing trace"} {
+		if !strings.Contains(warned, want) {
+			t.Errorf("warnings missing %q:\n%s", want, warned)
+		}
+	}
+
+	// The run's own error still wins the return value, but the artifact
+	// warnings are no longer swallowed.
+	warnings.Reset()
+	_, _, finish = f.Setup("test-tool", nil)
+	runErr := errors.New("run failed")
+	if got := finish(runErr); got != runErr {
+		t.Errorf("finish = %v, want the run error", got)
+	}
+	if !strings.Contains(warnings.String(), "writing run manifest") {
+		t.Errorf("artifact failure silenced when the run errored:\n%s", warnings.String())
+	}
+}
+
+// TestObsFlagsUnwritableHistory: a history dir nested under a file fails
+// loudly too.
+func TestObsFlagsUnwritableHistory(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warnings strings.Builder
+	f := ObsFlags{HistoryDir: filepath.Join(blocker, "runs"), Warn: &warnings}
+	_, _, finish := f.Setup("test-tool", nil)
+	if err := finish(nil); err == nil {
+		t.Error("finish returned nil despite unwritable history dir")
+	}
+	if !strings.Contains(warnings.String(), "appending run history") {
+		t.Errorf("warnings = %q", warnings.String())
+	}
+}
+
+// TestObsFlagsServeLifecycle: -serve brings the telemetry plane up during
+// the run and finish tears it down.
+func TestObsFlagsServeLifecycle(t *testing.T) {
+	f := ObsFlags{Serve: "127.0.0.1:0"}
+	sc, _, finish := f.Setup("test-tool", nil)
+	if !sc.Enabled() || !sc.EventsEnabled() {
+		t.Fatal("-serve did not build a live scope with an SSE-backed event sink")
+	}
+	if err := finish(nil); err != nil {
+		t.Fatalf("finish: %v", err)
 	}
 }

@@ -61,6 +61,10 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 	defer span.End()
 	sc.Prog().StartPhase(sc.Label("exhaustive"), int64(shards))
 	defer sc.Prog().EndPhase()
+	if sc.EventsEnabled() {
+		sc.EmitSpanEvent(span, obs.LevelInfo, "core.sweep.start",
+			obs.Fi("shards", int64(shards)), obs.Fi("workers", int64(workers)))
+	}
 	shardsDone := sc.Counter("core.sweep.shards.done")
 	pruned := sc.Counter("core.sweep.shards.pruned")
 
@@ -130,9 +134,20 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 
 	r := best.Load()
 	if r == math.MaxUint64 {
+		if sc.EventsEnabled() {
+			sc.EmitSpanEvent(span, obs.LevelInfo, "core.sweep.done",
+				obs.Fi("violations", 0))
+		}
 		return nil
 	}
 	sc.Counter("core.sweep.violations").Inc()
+	if sc.EventsEnabled() {
+		// Rank only: it identifies the violating labeling without revealing
+		// any certificate content (hiding contract). The full witness stays
+		// in the returned error, which never reaches an obs sink.
+		sc.EmitSpanEvent(span, obs.LevelWarn, "core.sweep.violation",
+			obs.F("rank", fmt.Sprint(r)))
+	}
 	mu.Lock()
 	defer mu.Unlock()
 	return found[r]

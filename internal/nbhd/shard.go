@@ -230,6 +230,14 @@ func ForEachShardScoped(sc obs.Scope, se ShardedEnumerator, shards, workers int,
 				shardsDone.Inc()
 				sc.Prog().Add(1)
 				sc.Event("shard.done", fmt.Sprintf("shard %d/%d on worker %d", i+1, len(enums), w))
+				if sc.EventsEnabled() {
+					// Per-shard, not per-instance: the event log sees O(shards)
+					// appends for a build, never the hot enumeration path.
+					sc.EmitEvent(obs.LevelDebug, "nbhd.shard.done",
+						obs.Fi("shard", int64(i)),
+						obs.Fi("worker", int64(w)),
+						obs.Fi("stolen", int64(claimed-1)))
+				}
 			}
 		}(w)
 	}

@@ -1,0 +1,76 @@
+package obs
+
+import "fmt"
+
+// Structured, leveled log events are the third telemetry signal next to
+// metrics and spans: where a counter says how often and a span says how
+// long, a LogEvent says what happened, with enough correlation context
+// (run, phase, span) to line the three up after the fact. The pipelines
+// emit events through Scope.EmitEvent; the transport — a JSONL file, an
+// in-memory ring for the /events SSE tail, both — is whatever EventSink the
+// CLI attached (internal/obs/export.EventLog in production).
+//
+// Events fall under the hiding contract exactly like span attributes and
+// progress lines: Detail-bearing field values derived from certificate
+// bytes must pass through the Redact* helpers first (enforced statically by
+// certflow, and at runtime by the marker-byte regression tests in
+// internal/sanitize).
+
+// Level classifies a LogEvent. The levels are ordered; sinks may filter.
+type Level string
+
+// The event levels, from chattiest to most severe.
+const (
+	LevelDebug Level = "debug"
+	LevelInfo  Level = "info"
+	LevelWarn  Level = "warn"
+	LevelError Level = "error"
+)
+
+// levelRank orders levels for sink-side filtering.
+var levelRank = map[Level]int{LevelDebug: 0, LevelInfo: 1, LevelWarn: 2, LevelError: 3}
+
+// Rank returns the level's position in the severity order (debug < info <
+// warn < error); unknown levels rank as debug.
+func (l Level) Rank() int { return levelRank[l] }
+
+// LogEvent is one structured event, as serialized (one JSON object per
+// line) into the JSONL event log. The machine-checkable schema is committed
+// at docs/event-log.schema.json and enforced by cmd/manifestcheck.
+type LogEvent struct {
+	TimeUnixNS int64  `json:"time_unix_ns"`
+	Level      Level  `json:"level"`
+	Name       string `json:"name"`
+	// Run is the correlation ID shared by every event of one CLI run (see
+	// NewRunID), so interleaved histories from several processes can be
+	// separated again.
+	Run string `json:"run,omitempty"`
+	// Phase is the emitting scope's label prefix (Scope.Named), typically
+	// "scheme=<name>" or an experiment ID.
+	Phase string `json:"phase,omitempty"`
+	// Span is the ID of the span the event was emitted under, 0 when none.
+	Span uint64 `json:"span,omitempty"`
+	// Fields carries event-specific key/value details, in emission order.
+	Fields []Attr `json:"fields,omitempty"`
+}
+
+// EventSink receives structured events. Implementations must be safe for
+// concurrent use — shard workers emit from their own goroutines — and must
+// not block the caller beyond a bounded append (the pipelines sit on the
+// other side).
+type EventSink interface {
+	EmitLogEvent(ev LogEvent)
+}
+
+// NewRunID derives a process-unique correlation ID for one CLI run from the
+// tool name and the start timestamp. obs owns the wall clock, so this is
+// the one place run identity may come from time.
+func NewRunID(tool string) string {
+	return fmt.Sprintf("%s-%016x", tool, uint64(Now()))
+}
+
+// F is shorthand for one event field.
+func F(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Fi is shorthand for one integer-valued event field.
+func Fi(key string, value int64) Attr { return Attr{Key: key, Value: fmt.Sprint(value)} }

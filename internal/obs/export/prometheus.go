@@ -1,0 +1,147 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"hidinglcp/internal/obs"
+)
+
+// The Prometheus text-format (0.0.4) exporter over Registry.Snapshot().
+// Counters and gauges render as single samples; histograms render with
+// cumulative le-labeled buckets plus _sum and _count, and additionally as
+// derived p50/p95/p99 gauges so dashboards get latency quantiles without a
+// server-side histogram_quantile. Metric names carry only sizes, counts,
+// and durations — never certificate bytes — so the exported page sits
+// inside the hiding contract by construction (and the marker-byte
+// regression test in internal/sanitize pins it).
+
+// promName maps a registry metric name ("nbhd.views.extracted") onto the
+// Prometheus name grammar [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other
+// byte with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// quantile estimates the q-quantile of a histogram snapshot from its
+// power-of-two buckets: the upper bound of the first bucket whose
+// cumulative count reaches q of the total, clamped into [Min, Max]. The
+// snapshot's buckets are per-bucket counts in increasing Le order.
+func quantile(s obs.MetricSnapshot, q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	est := float64(s.Max)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			est = float64(b.Le)
+			break
+		}
+	}
+	if est < float64(s.Min) {
+		est = float64(s.Min)
+	}
+	if est > float64(s.Max) {
+		est = float64(s.Max)
+	}
+	return est
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's shortest float
+// form, and +Inf for the unbounded bucket.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders the metric snapshots in Prometheus text format
+// version 0.0.4, sorted as Snapshot sorts them (by name). Serve the output
+// with content type "text/plain; version=0.0.4; charset=utf-8".
+func WritePrometheus(w io.Writer, snaps []obs.MetricSnapshot) error {
+	for _, s := range snaps {
+		name := promName(s.Name)
+		var err error
+		switch s.Kind {
+		case obs.KindCounter:
+			_, err = fmt.Fprintf(w, "# HELP %s hidinglcp counter %s\n# TYPE %s counter\n%s %d\n",
+				name, s.Name, name, name, s.Value)
+		case obs.KindGauge:
+			_, err = fmt.Fprintf(w, "# HELP %s hidinglcp gauge %s\n# TYPE %s gauge\n%s %d\n",
+				name, s.Name, name, name, s.Value)
+		case obs.KindHistogram:
+			err = writePromHistogram(w, name, s)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram: cumulative buckets (the
+// registry snapshots per-bucket counts; Prometheus wants running totals
+// ending in the +Inf bucket equal to _count), _sum, _count, and the
+// derived quantile gauges.
+func writePromHistogram(w io.Writer, name string, s obs.MetricSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s hidinglcp histogram %s\n# TYPE %s histogram\n", name, s.Name, name); err != nil {
+		return err
+	}
+	cum, sawInf := int64(0), false
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := promFloat(float64(b.Le))
+		if b.Le == math.MaxInt64 {
+			le, sawInf = "+Inf", true
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if !sawInf {
+		// Only populated buckets are snapshotted, so the +Inf terminator
+		// (required to equal _count) is usually synthesized here.
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		qn := name + "_" + q.suffix
+		if _, err := fmt.Fprintf(w, "# HELP %s derived %s quantile of %s\n# TYPE %s gauge\n%s %s\n",
+			qn, q.suffix, s.Name, qn, qn, promFloat(quantile(s, q.q))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package export
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hidinglcp/internal/obs"
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	labels string // raw label block, "" when none
+	value  float64
+}
+
+// promFamily is one parsed metric family.
+type promFamily struct {
+	typ     string
+	samples []promSample
+}
+
+// parsePromText is the test-side mini-parser for Prometheus text format
+// 0.0.4: it checks the line grammar strictly (TYPE before samples, known
+// types, parseable values) and returns families keyed by base name with
+// samples keyed by their raw label block. Exposed to the server and
+// acceptance tests so "curl /metrics parses" is a checked property.
+func parsePromText(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			fams[name] = &promFamily{typ: typ}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		// Sample: name[{labels}] value
+		nameEnd := strings.IndexAny(line, "{ ")
+		if nameEnd <= 0 {
+			t.Fatalf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name := line[:nameEnd]
+		rest := line[nameEnd:]
+		labels := ""
+		if rest[0] == '{' {
+			close := strings.Index(rest, "}")
+			if close < 0 {
+				t.Fatalf("line %d: unterminated label block: %q", lineNo, line)
+			}
+			labels = rest[1:close]
+			rest = rest[close+1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		var value float64
+		switch valStr {
+		case "+Inf":
+			value = math.Inf(1)
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("line %d: unparseable value %q: %v", lineNo, valStr, err)
+			}
+			value = v
+		}
+		if !validPromName(name) {
+			t.Fatalf("line %d: invalid metric name %q", lineNo, name)
+		}
+		fam := fams[familyName(fams, name)]
+		if fam == nil {
+			t.Fatalf("line %d: sample %q before its TYPE line", lineNo, name)
+		}
+		fam.samples = append(fam.samples, promSample{labels: labels, value: value})
+	}
+	return fams
+}
+
+// familyName resolves a sample name to its family: exact, or the histogram
+// sub-series suffixes.
+func familyName(fams map[string]*promFamily, name string) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := fams[base]; ok && f.typ == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validPromName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+// TestWritePrometheusGolden pins the exact text rendering of one counter,
+// one gauge, and one histogram with two populated buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("nbhd.views.extracted").Add(12)
+	reg.Gauge("nbhd.workers").Set(4)
+	h := reg.Histogram("build.duration_ns")
+	h.Observe(1) // bucket le=1
+	h.Observe(5) // bucket le=7
+	h.Observe(6) // bucket le=7
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP build_duration_ns hidinglcp histogram build.duration_ns
+# TYPE build_duration_ns histogram
+build_duration_ns_bucket{le="1"} 1
+build_duration_ns_bucket{le="7"} 3
+build_duration_ns_bucket{le="+Inf"} 3
+build_duration_ns_sum 12
+build_duration_ns_count 3
+# HELP build_duration_ns_p50 derived p50 quantile of build.duration_ns
+# TYPE build_duration_ns_p50 gauge
+build_duration_ns_p50 6
+# HELP build_duration_ns_p95 derived p95 quantile of build.duration_ns
+# TYPE build_duration_ns_p95 gauge
+build_duration_ns_p95 6
+# HELP build_duration_ns_p99 derived p99 quantile of build.duration_ns
+# TYPE build_duration_ns_p99 gauge
+build_duration_ns_p99 6
+# HELP nbhd_views_extracted hidinglcp counter nbhd.views.extracted
+# TYPE nbhd_views_extracted counter
+nbhd_views_extracted 12
+# HELP nbhd_workers hidinglcp gauge nbhd.workers
+# TYPE nbhd_workers gauge
+nbhd_workers 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("WritePrometheus output:\n%s\nwant:\n%s", got, want)
+	}
+	// And the mini-parser accepts its own golden.
+	fams := parsePromText(t, b.String())
+	if fams["nbhd_views_extracted"].typ != "counter" {
+		t.Errorf("parsed families = %+v", fams)
+	}
+	if n := len(fams["build_duration_ns"].samples); n != 5 {
+		t.Errorf("histogram sample count = %d, want 5 (3 buckets + sum + count)", n)
+	}
+}
+
+// TestWritePrometheusCumulativeBuckets checks bucket cumulativity and the
+// +Inf terminator equal to _count on a wider distribution.
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("h")
+	for i := int64(0); i < 100; i++ {
+		h.Observe(i)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePromText(t, b.String())
+	var bucketVals []float64
+	for _, s := range fams["h"].samples {
+		if strings.HasPrefix(s.labels, "le=") {
+			bucketVals = append(bucketVals, s.value)
+		}
+	}
+	const count = 100.0
+	for i := 1; i < len(bucketVals); i++ {
+		if bucketVals[i] < bucketVals[i-1] {
+			t.Errorf("buckets not cumulative: %v", bucketVals)
+		}
+	}
+	if last := bucketVals[len(bucketVals)-1]; last != count {
+		t.Errorf("+Inf bucket = %v, want _count = %v", last, count)
+	}
+}
+
+// TestQuantileEstimates checks the derived quantiles against a known
+// distribution: estimates are bucket upper bounds, clamped into [min, max].
+func TestQuantileEstimates(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("q")
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	snap := reg.Snapshot()[0]
+	p50 := quantile(snap, 0.50)
+	p99 := quantile(snap, 0.99)
+	if p50 < 500/2 || p50 > 1023 {
+		t.Errorf("p50 = %v out of plausible range", p50)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 (%v) < p50 (%v)", p99, p50)
+	}
+	if p99 > 1000 {
+		t.Errorf("p99 = %v exceeds the observed max 1000 (clamp failed)", p99)
+	}
+	if got := quantile(obs.MetricSnapshot{}, 0.5); got != 0 {
+		t.Errorf("quantile of empty histogram = %v, want 0", got)
+	}
+}
+
+// TestPromNameSanitization covers the name grammar mapping.
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"nbhd.views.extracted": "nbhd_views_extracted",
+		"a-b/c d":              "a_b_c_d",
+		"9lives":               "_9lives",
+		"ok_name:sub":          "ok_name:sub",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusEmptyHistogram: zero observations still render a
+// parseable family with a zero +Inf bucket.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("empty")
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePromText(t, b.String())
+	found := false
+	for _, s := range fams["empty"].samples {
+		if s.labels == `le="+Inf"` {
+			found = true
+			if s.value != 0 {
+				t.Errorf("+Inf bucket of empty histogram = %v", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no +Inf bucket rendered: %s", b.String())
+	}
+}

@@ -1,48 +1,58 @@
 package obs
 
 import (
-	"expvar"
+	"encoding/json"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
-	"sync"
+	"net/http/pprof"
 )
 
-// expvarOnce guards the expvar publication: expvar.Publish panics on
-// duplicate names, and tests may start several debug servers.
-var expvarOnce sync.Once
-
-// currentRegistry is the registry the published expvar reads; swapped by
-// ServeDebug so the latest server's scope is the one exposed.
-var currentRegistry struct {
-	mu  sync.Mutex
-	reg *Registry
+// DebugMux returns a fresh mux carrying the process-debugging routes:
+// net/http/pprof under /debug/pprof/ and a JSON snapshot of reg's metrics
+// under /debug/vars (shaped like expvar output, {"hidinglcp.metrics": [...]},
+// but computed per request from the given registry — no process-global
+// expvar publication, so any number of servers over different registries
+// can coexist in one process).
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
+	return mux
 }
 
-// ServeDebug starts an HTTP server on addr exposing net/http/pprof
-// (/debug/pprof/) and expvar (/debug/vars, including the registry's
-// metrics under "hidinglcp.metrics"). It returns the bound address (useful
-// with ":0") and a closer. The server runs until closed; profile it with
+// RegisterDebug installs the /debug/pprof/* and /debug/vars routes on mux.
+// The pprof handlers are registered explicitly rather than by importing
+// net/http/pprof for its side effect, so nothing ever touches
+// http.DefaultServeMux.
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"hidinglcp.metrics": reg.Snapshot()}) //nolint:errcheck // best-effort write to the client
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the DebugMux routes for
+// reg: net/http/pprof (/debug/pprof/) and the metrics snapshot
+// (/debug/vars). It returns the bound address (useful with ":0") and a
+// closer. Every server owns its mux, so concurrent servers — common in
+// tests — never serve each other's registries. Profile it with
 //
 //	go tool pprof http://<addr>/debug/pprof/profile
+//
+// For the full telemetry surface (/metrics, /healthz, /trace, /events) see
+// internal/obs/export.Serve, which layers onto the same mux.
 func ServeDebug(addr string, reg *Registry) (string, func() error, error) {
-	currentRegistry.mu.Lock()
-	currentRegistry.reg = reg
-	currentRegistry.mu.Unlock()
-	expvarOnce.Do(func() {
-		expvar.Publish("hidinglcp.metrics", expvar.Func(func() any {
-			currentRegistry.mu.Lock()
-			r := currentRegistry.reg
-			currentRegistry.mu.Unlock()
-			return r.Snapshot()
-		}))
-	})
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
+	srv := &http.Server{Handler: DebugMux(reg)}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestDebugMuxVars pins the /debug/vars shape: a JSON object whose
+// "hidinglcp.metrics" member is the registry snapshot, computed per request.
+func TestDebugMuxVars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo.count").Add(7)
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	readVars := func() []MetricSnapshot {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/vars status = %d", resp.StatusCode)
+		}
+		var doc struct {
+			Metrics []MetricSnapshot `json:"hidinglcp.metrics"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Metrics
+	}
+
+	got := readVars()
+	if len(got) != 1 || got[0].Name != "demo.count" || got[0].Value != 7 {
+		t.Errorf("snapshot = %+v", got)
+	}
+	// Live: a later scrape sees later registry state, no expvar caching.
+	reg.Counter("demo.count").Add(3)
+	if got := readVars(); got[0].Value != 10 {
+		t.Errorf("second snapshot = %+v, want value 10", got)
+	}
+}
+
+// TestDebugMuxPprofIndex checks the pprof index is wired on the per-server
+// mux (not http.DefaultServeMux).
+func TestDebugMuxPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) == 0 {
+		t.Error("pprof index returned an empty body")
+	}
+}
+
+// TestServeDebugIsolatedRegistries runs two debug servers in one process
+// and checks each serves its own registry — the regression the old
+// DefaultServeMux + package-level registry swap could not pass: the second
+// server used to hijack the first one's routes.
+func TestServeDebugIsolatedRegistries(t *testing.T) {
+	mk := func(name string, v int64) (string, func() error) {
+		reg := NewRegistry()
+		reg.Counter(name).Add(v)
+		addr, stop, err := ServeDebug("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return addr, stop
+	}
+	addrA, stopA := mk("server.a", 1)
+	defer stopA() //nolint:errcheck
+	addrB, stopB := mk("server.b", 2)
+	defer stopB() //nolint:errcheck
+
+	for _, tc := range []struct {
+		addr, want string
+	}{{addrA, "server.a"}, {addrB, "server.b"}} {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", tc.addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var doc struct {
+			Metrics []MetricSnapshot `json:"hidinglcp.metrics"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("%s: %v", tc.addr, err)
+		}
+		if len(doc.Metrics) != 1 || doc.Metrics[0].Name != tc.want {
+			t.Errorf("server %s serves %+v, want its own counter %q", tc.addr, doc.Metrics, tc.want)
+		}
+	}
+}

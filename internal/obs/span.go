@@ -95,6 +95,15 @@ func (t *Tracer) Start(name string, parent *Span) *Span {
 	return &Span{tr: t, id: id, parent: parentID, name: name, start: time.Now()}
 }
 
+// ID returns the span's tracer-unique identifier, 0 for the nil span. It
+// is the correlation key log events carry (LogEvent.Span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
 // Child opens a span nested under s.
 func (s *Span) Child(name string) *Span {
 	if s == nil {

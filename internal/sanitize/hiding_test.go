@@ -9,6 +9,11 @@ package sanitize_test
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -17,6 +22,7 @@ import (
 	"hidinglcp/internal/graph"
 	"hidinglcp/internal/nbhd"
 	"hidinglcp/internal/obs"
+	"hidinglcp/internal/obs/export"
 	"hidinglcp/internal/sanitize"
 	"hidinglcp/internal/view"
 )
@@ -83,6 +89,69 @@ func TestHidingScopedPipelines(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertHidden(t, "run manifest JSON", string(manifest))
+}
+
+// TestHidingLiveTelemetryPlane drives the instrumented pipelines with
+// marker labels while the full telemetry plane is attached — metric
+// registry, span tracer, structured event log — and then scrapes every
+// surface the plane exposes: the Prometheus /metrics text, the /trace JSON,
+// the /events SSE stream, and the JSONL log file on disk. The marker must
+// not reach any of them.
+func TestHidingLiveTelemetryPlane(t *testing.T) {
+	inst := core.NewAnonymousInstance(graph.Path(3))
+	alpha := markerAlphabet()
+
+	logPath := filepath.Join(t.TempDir(), "events.jsonl")
+	log, err := export.NewEventLog(export.EventLogConfig{Path: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(256)
+	sc := obs.NewScope().WithTracer(tr).WithEvents(log, obs.NewRunID("hiding"))
+
+	if _, err := nbhd.BuildShardedScoped(sc, markerDecoder{}, nbhd.ShardedAllLabelings(alpha, inst), 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if runErr := core.ExhaustiveStrongSoundnessParallelScoped(sc, markerDecoder{}, core.TwoCol(), inst, alpha, 4, 2); runErr != nil {
+		assertHidden(t, "soundness sweep error", runErr.Error())
+	}
+
+	closing := make(chan struct{})
+	srv := httptest.NewServer(export.NewHandler(export.ServerOptions{
+		Registry: sc.Registry(), Tracer: tr, Events: log,
+	}, nil, closing))
+	defer srv.Close()
+
+	// Closing the plane first makes /events deterministic: the stream
+	// replays the retained tail and then ends instead of blocking live.
+	close(closing)
+	for _, ep := range []string{"/metrics", "/trace", "/events"} {
+		resp, err := http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatalf("GET %s: %v", ep, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading %s: %v", ep, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", ep, resp.StatusCode)
+		}
+		assertHidden(t, ep, string(body))
+	}
+
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		t.Fatal("event log recorded nothing; the marker check would be vacuous")
+	}
+	assertHidden(t, "events JSONL file", string(raw))
 }
 
 // TestHidingViewAndViolationStrings pins the per-value redactions: a

@@ -259,6 +259,19 @@ func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) (
 		sc.Counter("sim.crashed").Add(int64(len(rep.Crashed)))
 		sc.Counter("sim.corrupted").Add(int64(len(rep.Corrupted)))
 	}
+	if sc.EventsEnabled() {
+		// Per-crash events come from the finalized (sorted) node set, not the
+		// racing node goroutines, so the log order is deterministic. Node
+		// indices and fault counters are topology data, never certificate
+		// bytes, so the hiding contract holds without redaction.
+		for _, v := range rep.Crashed {
+			sc.EmitSpanEvent(span, obs.LevelWarn, "sim.node.crashed", obs.Fi("node", int64(v)))
+		}
+		sc.EmitSpanEvent(span, obs.LevelInfo, "sim.gather.done",
+			obs.Fi("rounds", int64(r)),
+			obs.Fi("messages", int64(stats.Messages)),
+			obs.F("faults", rep.Summary()))
+	}
 	span.SetAttr("faults", rep.Summary())
 	return views, stats, rep, nil
 }
@@ -338,7 +351,27 @@ func RunSchemeFaultsScoped(sc obs.Scope, s core.Scheme, inst core.Instance, plan
 			verdicts[v] = core.VerdictReject
 		}
 	}
-	return &FaultReport{Verdicts: verdicts, Stats: stats, Faults: rep}, nil
+	fr := &FaultReport{Verdicts: verdicts, Stats: stats, Faults: rep}
+	if sc.Enabled() {
+		// Verdict conservation (accepted + rejected + crashed = nodes) and
+		// crash accounting (crashed verdicts = injected in-horizon crashes)
+		// are gated longitudinally by cmd/obsdiff — see history.CheckInvariants.
+		accepted, rejected, crashed := fr.Counts()
+		sc.Counter("sim.nodes").Add(int64(len(verdicts)))
+		sc.Counter("sim.verdicts.accepted").Add(int64(accepted))
+		sc.Counter("sim.verdicts.rejected").Add(int64(rejected))
+		sc.Counter("sim.verdicts.crashed").Add(int64(crashed))
+	}
+	if sc.EventsEnabled() {
+		accepted, rejected, crashed := fr.Counts()
+		sc.EmitEvent(obs.LevelInfo, "sim.run.done",
+			obs.Fi("nodes", int64(len(verdicts))),
+			obs.Fi("accepted", int64(accepted)),
+			obs.Fi("rejected", int64(rejected)),
+			obs.Fi("crashed", int64(crashed)),
+			obs.F("faults", rep.Summary()))
+	}
+	return fr, nil
 }
 
 // barrier is a reusable generation barrier for the round synchronizer.
