@@ -1,6 +1,7 @@
 package hidinglcp_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,17 +12,19 @@ import (
 	"hidinglcp/internal/forgetful"
 	"hidinglcp/internal/graph"
 	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/obs"
 	"hidinglcp/internal/sim"
 	"hidinglcp/internal/view"
 )
 
 // benchExperiment times one full experiment run (and fails the bench on an
 // experiment error, so the benchmark suite doubles as a reproduction
-// check).
-func benchExperiment(b *testing.B, run func() experiments.Table) {
+// check). The nil context is the never-cancelled context, so the timed
+// path is the one the CLIs run when no -timeout is set.
+func benchExperiment(b *testing.B, run func(context.Context) experiments.Table) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		t := run()
+		t := run(nil)
 		if t.Err != nil {
 			b.Fatal(t.Err)
 		}
@@ -197,6 +200,34 @@ func BenchmarkNeighborhoodGraph(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBuildShardedCtx pins the context plumbing at no measurable
+// overhead: the bare build (nil never-cancelled context, the historical
+// path) against the same build under a live context that never fires
+// (one armed watcher goroutine; the per-instance hot path is unchanged —
+// cancellation rides the stop flag workers already poll). The bench gate
+// tracks both via .bench-thresholds.json.
+func BenchmarkBuildShardedCtx(b *testing.B) {
+	s := decoders.DegreeOne()
+	fam := decoders.DegOneFamily(4)
+	se := nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), fam...)
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nbhd.BuildSharded(s.Decoder, se, 8, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ctx", func(b *testing.B) {
+		ctx, stop := context.WithCancel(context.Background())
+		defer stop()
+		for i := 0; i < b.N; i++ {
+			if _, err := nbhd.BuildShardedCtx(ctx, obs.Scope{}, s.Decoder, se, 8, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkShardedEnumeration isolates the sharded enumeration layer from

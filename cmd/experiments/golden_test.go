@@ -26,7 +26,7 @@ func TestTablesMatchExperimentsMD(t *testing.T) {
 	for _, r := range experiments.All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			table := r.Run()
+			table := r.Run(nil)
 			if table.Err != nil {
 				t.Fatalf("%s failed: %v", r.ID, table.Err)
 			}
@@ -51,11 +51,11 @@ func TestTablesDeterministicUnderParallelism(t *testing.T) {
 			continue
 		}
 		experiments.SetParallelism(0, 0)
-		baseTable := r.Run()
+		baseTable := r.Run(nil)
 		base := baseTable.Render()
 		for _, p := range []struct{ shards, workers int }{{1, 1}, {16, 4}, {5, 3}} {
 			experiments.SetParallelism(p.shards, p.workers)
-			table := r.Run()
+			table := r.Run(nil)
 			if got := table.Render(); got != base {
 				t.Errorf("%s: output differs at shards=%d workers=%d", r.ID, p.shards, p.workers)
 			}

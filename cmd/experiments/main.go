@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-run e04 | -only E4] [-list] [-shards N] [-workers N]
+//	            [-timeout 5m] [-deadline 2026-08-07T17:30:00Z]
 //	            [-metrics-json out.json] [-trace trace.json] [-progress] [-pprof addr]
 //	            [-faults spec] [-crash spec] [-seed N]
 //
@@ -17,17 +18,25 @@
 // plans with a user-chosen deterministic plan, e.g.
 //
 //	experiments -run e17 -faults drop=0.3,reorder -seed 11
+//
+// -timeout/-deadline bound the whole suite: when either fires, the current
+// experiment stops at its next shard/instance checkpoint, no further
+// experiments dispatch, and the command exits with code 2. Dispatch lives
+// in internal/engine; this binary only parses flags.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"hidinglcp/internal/cli"
+	"hidinglcp/internal/engine"
 	"hidinglcp/internal/experiments"
+	"hidinglcp/internal/obs"
 )
 
 func main() {
@@ -38,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel search/build phases (0 = GOMAXPROCS)")
 	obsFlags := cli.RegisterObsFlags()
 	faultFlags := cli.RegisterFaultFlags()
+	runFlags := cli.RegisterRunFlags()
 	flag.Parse()
 
 	experiments.SetParallelism(*shards, *workers)
@@ -49,8 +59,14 @@ func main() {
 	experiments.SetFaultPlan(plan)
 	sel := *only
 	if *runID != "" {
-		sel = normalizeID(*runID)
+		sel = engine.NormalizeExperimentID(*runID)
 	}
+	ctx, stop, err := runFlags.Context()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	sc, manifest, finish := obsFlags.Setup("experiments", os.Args[1:])
 	manifest.SetConfig("shards", strconv.Itoa(*shards))
@@ -63,48 +79,28 @@ func main() {
 	}
 	experiments.SetScope(sc)
 
-	if err := finish(run(sel, *list)); err != nil {
+	if err := finish(run(ctx, sc, engine.Default(), sel, *list)); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if errors.Is(err, engine.ErrCancelled) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-// normalizeID maps user-friendly spellings ("e04", "E04", "4") onto the
-// canonical experiment IDs ("E4").
-func normalizeID(s string) string {
-	t := strings.TrimLeft(strings.ToUpper(strings.TrimSpace(s)), "E")
-	if n, err := strconv.Atoi(t); err == nil {
-		return fmt.Sprintf("E%d", n)
-	}
-	return strings.ToUpper(strings.TrimSpace(s))
-}
-
-func run(only string, list bool) error {
-	runners := experiments.All()
+// run dispatches the suite through the engine, streaming each finished
+// table as markdown; kept separate from main so the tests can drive it
+// without flag parsing.
+func run(ctx context.Context, sc obs.Scope, reg *engine.Registry, only string, list bool) error {
 	if list {
-		for _, r := range runners {
+		for _, r := range reg.Experiments() {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)
 		}
 		return nil
 	}
-	ran := 0
-	var failed []string
-	for _, r := range runners {
-		if only != "" && r.ID != only {
-			continue
-		}
-		ran++
-		table := r.Run()
-		fmt.Println(table.Render())
-		if table.Err != nil {
-			failed = append(failed, r.ID)
-		}
-	}
-	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q (use -list)", only)
-	}
-	if len(failed) > 0 {
-		return fmt.Errorf("experiments failed: %v", failed)
-	}
-	return nil
+	job := reg.ExperimentsJob(engine.ExperimentsConfig{
+		Only: only,
+		Emit: func(t experiments.Table) { fmt.Println(t.Render()) },
+	})
+	return engine.Runner{Scope: sc}.Run(ctx, job)
 }

@@ -1,9 +1,16 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hidinglcp/internal/engine"
+	"hidinglcp/internal/obs"
+)
 
 func TestRunList(t *testing.T) {
-	if err := run("", true); err != nil {
+	if err := run(nil, obs.Scope{}, engine.Default(), "", true); err != nil {
 		t.Errorf("list mode: %v", err)
 	}
 }
@@ -11,13 +18,22 @@ func TestRunList(t *testing.T) {
 func TestRunSingle(t *testing.T) {
 	// E1 is the fastest experiment; running it end to end exercises the
 	// whole dispatch path.
-	if err := run("E1", false); err != nil {
+	if err := run(nil, obs.Scope{}, engine.Default(), "E1", false); err != nil {
 		t.Errorf("run E1: %v", err)
 	}
 }
 
 func TestRunUnknown(t *testing.T) {
-	if err := run("E99", false); err == nil {
+	if err := run(nil, obs.Scope{}, engine.Default(), "E99", false); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, obs.Scope{}, engine.Default(), "E1", false)
+	if !errors.Is(err, engine.ErrCancelled) {
+		t.Errorf("err = %v, want engine.ErrCancelled", err)
 	}
 }

@@ -11,6 +11,7 @@
 //	lcpcheck -scheme union -graph cycle:8 -sanitize
 //	lcpcheck -scheme even-cycle -graph cycle:12 -faults drop=0.2,trace -seed 7
 //	lcpcheck -scheme trivial -graph grid:3x4 -crash 5@1 -seed 3
+//	lcpcheck -scheme degree-one -graph path:5 -exhaustive -timeout 30s
 //
 // Graph specs: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,
 // binarytree:LEVELS, spider:a,b,c, watermelon:l1,l2,..., petersen.
@@ -20,217 +21,89 @@
 // seed replays the identical run, bit for bit. Faulty runs report per-node
 // verdicts (accept / reject / crashed) and a fault summary instead of
 // failing on non-unanimity.
+//
+// -timeout / -deadline bound the whole run: when either fires, the
+// pipelines stop at their next shard/instance/round checkpoint and the
+// command exits with code 2. The pipeline itself lives in internal/engine;
+// this binary only parses flags.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"hidinglcp/internal/cli"
-	"hidinglcp/internal/core"
-	"hidinglcp/internal/faults"
-	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/engine"
 	"hidinglcp/internal/obs"
-	"hidinglcp/internal/sanitize"
-	"hidinglcp/internal/sim"
 )
 
 func main() {
-	schemeName := flag.String("scheme", "trivial", "scheme to run (lcpcheck -scheme help lists them)")
-	graphSpec := flag.String("graph", "path:5", "graph specification (see command doc)")
-	verbose := flag.Bool("verbose", false, "print per-node certificates and verdicts")
-	conflicts := flag.Bool("conflicts", false, "compute the hidden-fraction conflict report")
-	distributed := flag.Bool("distributed", false, "verify via the message-passing simulator")
-	sanitized := flag.Bool("sanitize", false, "re-run every decoder decision under the determinism sanitizer")
-	exhaustive := flag.Bool("exhaustive", false, "exhaustively search all labelings of the instance for strong-soundness violations")
-	shards := flag.Int("shards", 0, "shard count for the exhaustive search (0 = 4 per worker)")
-	workers := flag.Int("workers", 0, "worker count for the exhaustive search (0 = GOMAXPROCS)")
+	cfg := engine.CheckConfig{Out: os.Stdout}
+	flag.StringVar(&cfg.Scheme, "scheme", "trivial", "scheme to run (lcpcheck -scheme help lists them)")
+	flag.StringVar(&cfg.Graph, "graph", "path:5", "graph specification (see command doc)")
+	flag.BoolVar(&cfg.Verbose, "verbose", false, "print per-node certificates and verdicts")
+	flag.BoolVar(&cfg.Conflicts, "conflicts", false, "compute the hidden-fraction conflict report")
+	flag.BoolVar(&cfg.Distributed, "distributed", false, "verify via the message-passing simulator")
+	flag.BoolVar(&cfg.Sanitize, "sanitize", false, "re-run every decoder decision under the determinism sanitizer")
+	flag.BoolVar(&cfg.Exhaustive, "exhaustive", false, "exhaustively search all labelings of the instance for strong-soundness violations")
+	flag.IntVar(&cfg.Shards, "shards", 0, "shard count for the exhaustive search (0 = 4 per worker)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "worker count for the exhaustive search (0 = GOMAXPROCS)")
 	obsFlags := cli.RegisterObsFlags()
 	faultFlags := cli.RegisterFaultFlags()
+	runFlags := cli.RegisterRunFlags()
 	flag.Parse()
 
-	if *schemeName == "help" {
-		for _, n := range cli.SchemeNames() {
+	reg := engine.Default()
+	if cfg.Scheme == "help" {
+		for _, n := range reg.SchemeNames() {
 			fmt.Println(n)
 		}
 		return
 	}
 	plan, err := faultFlags.Plan()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	cfg.Plan = plan
+	ctx, stop, err := runFlags.Context()
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 	sc, manifest, finish := obsFlags.Setup("lcpcheck", os.Args[1:])
-	manifest.SetConfig("scheme", *schemeName)
-	manifest.SetConfig("graph", *graphSpec)
-	manifest.SetConfig("shards", strconv.Itoa(*shards))
-	manifest.SetConfig("workers", strconv.Itoa(*workers))
+	manifest.SetConfig("scheme", cfg.Scheme)
+	manifest.SetConfig("graph", cfg.Graph)
+	manifest.SetConfig("shards", strconv.Itoa(cfg.Shards))
+	manifest.SetConfig("workers", strconv.Itoa(cfg.Workers))
 	if plan.Active() {
 		manifest.SetConfig("faults", plan.String())
 	}
-	err = run(sc, *schemeName, *graphSpec, plan, *verbose, *conflicts, *distributed, *sanitized, *exhaustive, *shards, *workers)
-	if err := finish(err); err != nil {
-		fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
-		os.Exit(1)
+	if err := finish(run(ctx, sc, reg, cfg)); err != nil {
+		exit(err)
 	}
 }
 
-// maxExhaustiveLabelings bounds the |alphabet|^n search space -exhaustive
-// accepts; beyond this the sweep runs for hours and the caller almost
-// certainly mistyped the graph size.
-const maxExhaustiveLabelings = 20_000_000
-
-func run(sc obs.Scope, schemeName, graphSpec string, plan faults.Plan, verbose, conflicts, distributed, sanitized, exhaustive bool, shards, workers int) error {
-	// Name the scope after the scheme so every progress line and span of the
-	// exhaustive search says which scheme (and shard counts) it is on.
-	sc = sc.Named("scheme=" + schemeName)
-	s, err := cli.SchemeByName(schemeName)
-	if err != nil {
-		return err
-	}
-	var sanResult *sanitize.Result
-	if sanitized {
-		s, sanResult = sanitize.WithScheme(s, sanitize.Config{})
-	}
-	g, err := cli.ParseGraph(graphSpec)
-	if err != nil {
-		return err
-	}
-	var inst core.Instance
-	if s.Decoder.Anonymous() {
-		inst = core.NewAnonymousInstance(g)
-	} else {
-		inst = core.NewInstance(g)
-	}
-
-	if plan.Active() {
-		// Fault injection always goes through the message-passing simulator
-		// (faults are scheduler events; there is nothing to inject into a
-		// centralized extraction), and it degrades gracefully: per-node
-		// verdicts instead of a completeness error.
-		if err := plan.Validate(g.N()); err != nil {
-			return err
-		}
-		if err := runFaulty(sc, s, inst, plan, verbose); err != nil {
-			return err
-		}
-		if sanResult != nil {
-			if err := sanResult.Err(); err != nil {
-				return err
-			}
-			fmt.Printf("sanitizer: %d decisions probed, determinism contract holds\n", sanResult.Decisions())
-		}
-		return nil
-	}
-
-	labels, err := s.Prover.Certify(inst)
-	if err != nil {
-		return fmt.Errorf("prover rejects the instance: %w", err)
-	}
-	l, err := core.NewLabeled(inst, labels)
-	if err != nil {
-		return err
-	}
-
-	var outs []bool
-	if distributed {
-		var stats sim.Stats
-		outs, stats, err = sim.RunScheme(s, inst)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("simulator: %d rounds, %d messages, %d records\n", stats.Rounds, stats.Messages, stats.Records)
-	} else {
-		outs, err = core.Run(s.Decoder, l)
-		if err != nil {
-			return err
-		}
-	}
-
-	accepts := 0
-	for _, ok := range outs {
-		if ok {
-			accepts++
-		}
-	}
-	fmt.Printf("scheme %s on %v\n", s.Name, g)
-	fmt.Printf("accepting nodes: %d/%d\n", accepts, g.N())
-	fmt.Printf("max certificate: %d bits\n", s.MaxLabelBits(labels))
-	if verbose {
-		for v := 0; v < g.N(); v++ {
-			// The hiding adversary is the verifier-side observer, not the
-			// prover operator inspecting certificates they just generated;
-			// -verbose is that operator's explicit request for the raw bytes.
-			//lint:ignore certflow operator-requested dump of the operator's own certificates under -verbose
-			fmt.Printf("  node %2d  accept=%-5v  cert=%s\n", v, outs[v], labels[v])
-		}
-	}
-	if conflicts {
-		report, err := nbhd.MinExtractionConflicts(s.Decoder, l, 2)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("extraction conflicts: %d distinct views, min bad edges %d, fail fraction %.2f\n",
-			report.DistinctViews, report.MinBadEdges, report.FailFraction)
-	}
-	if exhaustive {
-		alphabet, err := cli.AlphabetFor(schemeName)
-		if err != nil {
-			return err
-		}
-		space := 1.0
-		for i := 0; i < g.N(); i++ {
-			space *= float64(len(alphabet))
-		}
-		if space > maxExhaustiveLabelings {
-			return fmt.Errorf("exhaustive search needs %.0f labelings (%d^%d); refusing above %d — use a smaller graph",
-				space, len(alphabet), g.N(), maxExhaustiveLabelings)
-		}
-		if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, alphabet, shards, workers); err != nil {
-			return err
-		}
-		fmt.Printf("strong soundness: no violation across %.0f labelings (%d^%d)\n", space, len(alphabet), g.N())
-	}
-	if sanResult != nil {
-		if err := sanResult.Err(); err != nil {
-			return err
-		}
-		fmt.Printf("sanitizer: %d decisions probed, determinism contract holds\n", sanResult.Decisions())
-	}
-	if accepts != g.N() {
-		return fmt.Errorf("completeness violated: %d nodes reject", g.N()-accepts)
-	}
-	return nil
+// run dispatches the check pipeline through the engine; kept separate from
+// main so the tests can drive it without flag parsing.
+func run(ctx context.Context, sc obs.Scope, reg *engine.Registry, cfg engine.CheckConfig) error {
+	return engine.Runner{Scope: sc}.Run(ctx, reg.CheckJob(cfg))
 }
 
-// runFaulty drives the scheme through the fault-injected simulator and
-// reports the degraded outcome: fault summary, verdict counts, and — with
-// -verbose — per-node verdicts. Non-unanimity is the expected result of a
-// faulty run, not an error.
-func runFaulty(sc obs.Scope, s core.Scheme, inst core.Instance, plan faults.Plan, verbose bool) error {
-	fr, err := sim.RunSchemeFaultsScoped(sc, s, inst, plan)
-	if err != nil {
-		return err
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
+	os.Exit(1)
+}
+
+// exit reports the run error: exit code 2 for a cancelled run (timeout or
+// deadline hit), 1 for everything else.
+func exit(err error) {
+	fmt.Fprintf(os.Stderr, "lcpcheck: %v\n", err)
+	if errors.Is(err, engine.ErrCancelled) {
+		os.Exit(2)
 	}
-	fmt.Printf("scheme %s on %v\n", s.Name, inst.G)
-	fmt.Printf("fault plan: %s\n", plan)
-	fmt.Printf("simulator: %d rounds, %d messages, %d records\n",
-		fr.Stats.Rounds, fr.Stats.Messages, fr.Stats.Records)
-	fmt.Printf("faults: %s\n", fr.Faults.Summary())
-	accepted, rejected, crashed := fr.Counts()
-	fmt.Printf("verdicts: %d accept, %d reject, %d crashed\n", accepted, rejected, crashed)
-	if verbose {
-		for v, verdict := range fr.Verdicts {
-			fmt.Printf("  node %2d  %s\n", v, verdict)
-		}
-	}
-	if plan.Trace {
-		fmt.Println("schedule trace:")
-		for _, line := range fr.Faults.TraceLines() {
-			fmt.Println("  " + line)
-		}
-	}
-	return nil
+	os.Exit(1)
 }

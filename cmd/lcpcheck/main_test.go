@@ -1,11 +1,21 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"io"
 	"testing"
 
+	"hidinglcp/internal/engine"
 	"hidinglcp/internal/faults"
 	"hidinglcp/internal/obs"
 )
+
+// check drives the pipeline the way main does, with output discarded.
+func check(ctx context.Context, cfg engine.CheckConfig) error {
+	cfg.Out = io.Discard
+	return run(ctx, obs.Scope{}, engine.Default(), cfg)
+}
 
 func TestRunSchemes(t *testing.T) {
 	tests := []struct {
@@ -28,7 +38,10 @@ func TestRunSchemes(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(obs.Scope{}, tt.scheme, tt.graph, faults.Plan{}, true, true, tt.distributed, true, false, 0, 0)
+			err := check(nil, engine.CheckConfig{
+				Scheme: tt.scheme, Graph: tt.graph,
+				Verbose: true, Conflicts: true, Distributed: tt.distributed, Sanitize: true,
+			})
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}
@@ -56,7 +69,9 @@ func TestRunFaulty(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(obs.Scope{}, tt.scheme, tt.graph, tt.plan, true, false, false, false, false, 0, 0)
+			err := check(nil, engine.CheckConfig{
+				Scheme: tt.scheme, Graph: tt.graph, Plan: tt.plan, Verbose: true,
+			})
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}
@@ -79,10 +94,25 @@ func TestRunExhaustive(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(obs.Scope{}, tt.scheme, tt.graph, faults.Plan{}, false, false, false, false, true, 8, 2)
+			err := check(nil, engine.CheckConfig{
+				Scheme: tt.scheme, Graph: tt.graph, Exhaustive: true, Shards: 8, Workers: 2,
+			})
 			if (err != nil) != tt.wantErr {
 				t.Errorf("run() err = %v, wantErr = %v", err, tt.wantErr)
 			}
 		})
+	}
+}
+
+// TestRunCancelled pins the CLI contract: a context that fired surfaces as
+// engine.ErrCancelled (main translates it into exit code 2).
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := check(ctx, engine.CheckConfig{
+		Scheme: "degree-one", Graph: "path:5", Exhaustive: true, Shards: 8, Workers: 2,
+	})
+	if !errors.Is(err, engine.ErrCancelled) {
+		t.Errorf("err = %v, want engine.ErrCancelled", err)
 	}
 }

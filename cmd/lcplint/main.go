@@ -2,8 +2,9 @@
 // custom analyzers of internal/analysis — the determinism suite
 // (decoderpurity, maporder, nondet, anonid, obspurity), the hiding-contract
 // taint analyzer (certflow), the concurrency pack (atomicmix,
-// mutexcopy, loopcapture, wgmisuse), and the memory-discipline check
-// (poolescape) — over the given package patterns and,
+// mutexcopy, loopcapture, wgmisuse), the memory-discipline check
+// (poolescape), and the cancellation-plumbing check (ctxflow) — over the
+// given package patterns and,
 // unless -vet=false, the standard `go vet` passes alongside them. It exits
 // non-zero when any diagnostic is reported, so CI can gate on a clean run.
 //

@@ -10,132 +10,58 @@
 //	nbhdgraph -scheme shatter                         # the paper's P8/P7 pair
 //	nbhdgraph -scheme watermelon -dot out.dot         # P8 two-identifier pair
 //	nbhdgraph -scheme trivial -graphs path:3,cycle:4  # prover-labeled custom family
+//	nbhdgraph -scheme degree-one -timeout 1m          # bounded build, exit 2 on expiry
+//
+// The pipeline lives in internal/engine; this binary only parses flags.
+// -timeout / -deadline cancel the build at its next per-instance
+// checkpoint and exit with code 2.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
-	"strings"
 
 	"hidinglcp/internal/cli"
-	"hidinglcp/internal/core"
-	"hidinglcp/internal/decoders"
-	"hidinglcp/internal/nbhd"
+	"hidinglcp/internal/engine"
 	"hidinglcp/internal/obs"
 )
 
 func main() {
-	schemeName := flag.String("scheme", "degree-one", "scheme whose neighborhood graph to build")
-	graphsSpec := flag.String("graphs", "", "comma-separated graph specs for a prover-labeled custom family (default: the scheme's canonical hiding family)")
-	dotPath := flag.String("dot", "", "write the neighborhood graph in DOT format to this file")
-	shards := flag.Int("shards", 0, "shard count for the parallel build (0 = 4 per worker)")
-	workers := flag.Int("workers", 0, "worker count for the parallel build (0 = GOMAXPROCS)")
+	cfg := engine.BuildConfig{Out: os.Stdout}
+	flag.StringVar(&cfg.Scheme, "scheme", "degree-one", "scheme whose neighborhood graph to build")
+	flag.StringVar(&cfg.Graphs, "graphs", "", "comma-separated graph specs for a prover-labeled custom family (default: the scheme's canonical hiding family)")
+	flag.StringVar(&cfg.DotPath, "dot", "", "write the neighborhood graph in DOT format to this file")
+	flag.IntVar(&cfg.Shards, "shards", 0, "shard count for the parallel build (0 = 4 per worker)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "worker count for the parallel build (0 = GOMAXPROCS)")
 	obsFlags := cli.RegisterObsFlags()
+	runFlags := cli.RegisterRunFlags()
 	flag.Parse()
 
-	sc, manifest, finish := obsFlags.Setup("nbhdgraph", os.Args[1:])
-	manifest.SetConfig("scheme", *schemeName)
-	manifest.SetConfig("shards", strconv.Itoa(*shards))
-	manifest.SetConfig("workers", strconv.Itoa(*workers))
-	err := run(sc, *schemeName, *graphsSpec, *dotPath, *shards, *workers)
-	if err := finish(err); err != nil {
+	ctx, stop, err := runFlags.Context()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "nbhdgraph: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
+	sc, manifest, finish := obsFlags.Setup("nbhdgraph", os.Args[1:])
+	manifest.SetConfig("scheme", cfg.Scheme)
+	manifest.SetConfig("shards", strconv.Itoa(cfg.Shards))
+	manifest.SetConfig("workers", strconv.Itoa(cfg.Workers))
+	if err := finish(run(ctx, sc, engine.Default(), cfg)); err != nil {
+		fmt.Fprintf(os.Stderr, "nbhdgraph: %v\n", err)
+		if errors.Is(err, engine.ErrCancelled) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(sc obs.Scope, schemeName, graphsSpec, dotPath string, shards, workers int) error {
-	sc = sc.Named("scheme=" + schemeName)
-	s, err := cli.SchemeByName(schemeName)
-	if err != nil {
-		return err
-	}
-	enum, desc, err := familyFor(s, schemeName, graphsSpec)
-	if err != nil {
-		return err
-	}
-	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, enum, shards, workers)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scheme:  %s\n", s.Name)
-	fmt.Printf("family:  %s\n", desc)
-	fmt.Printf("views:   %d accepting\n", ng.Size())
-	fmt.Printf("edges:   %d (+%d self-loops)\n", ng.EdgeCount(), ng.LoopCount())
-	fmt.Printf("2-colorable: %v\n", ng.IsKColorable(2))
-	if cyc := ng.OddCycle(); cyc != nil {
-		fmt.Printf("odd cycle: length %d -> the scheme is HIDING at this size (Lemma 3.2)\n", len(cyc))
-	} else {
-		fmt.Printf("no odd cycle in this slice -> an extraction decoder exists for it (Lemma 3.2)\n")
-	}
-	if dotPath != "" {
-		if err := writeDOT(ng, dotPath); err != nil {
-			return err
-		}
-		fmt.Printf("DOT written to %s\n", dotPath)
-	}
-	return nil
-}
-
-// familyFor picks the canonical hiding family for a scheme, or builds a
-// prover-labeled family from explicit graph specs. Families come back
-// sharded so the build can run on multiple workers.
-func familyFor(s core.Scheme, schemeName, graphsSpec string) (nbhd.ShardedEnumerator, string, error) {
-	if graphsSpec != "" {
-		var insts []core.Instance
-		for _, spec := range strings.Split(graphsSpec, ",") {
-			g, err := cli.ParseGraph(spec)
-			if err != nil {
-				return nil, "", err
-			}
-			if s.Decoder.Anonymous() {
-				insts = append(insts, core.NewAnonymousInstance(g))
-			} else {
-				insts = append(insts, core.NewInstance(g))
-			}
-		}
-		return nbhd.ShardedProverLabeled(s, insts...), fmt.Sprintf("prover-labeled %s", graphsSpec), nil
-	}
-	switch schemeName {
-	case "degree-one", "union":
-		return nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...),
-			"exhaustive connected bipartite δ=1 slice, n <= 4, all ports and labelings", nil
-	case "even-cycle":
-		family, err := decoders.EvenCycleFamily(4, 6)
-		if err != nil {
-			return nil, "", err
-		}
-		return nbhd.ShardedFromLabeled(family...), "all yes-instances on C4 and C6 (every port assignment, both phases)", nil
-	case "shatter", "shatter-literal":
-		l1, l2 := decoders.ShatterHidingPair()
-		return nbhd.ShardedFromLabeled(l1, l2), "the paper's P8/P7 hiding pair", nil
-	case "watermelon":
-		family, err := decoders.WatermelonHidingFamily()
-		if err != nil {
-			return nil, "", err
-		}
-		return nbhd.ShardedFromLabeled(family...), "P8 identifier pair + rotated even-cycle watermelons", nil
-	case "trivial", "trivial3":
-		return nil, "", fmt.Errorf("the trivial scheme needs an explicit -graphs family")
-	default:
-		return nil, "", fmt.Errorf("no canonical family for scheme %q; pass -graphs", schemeName)
-	}
-}
-
-func writeDOT(ng *nbhd.NGraph, path string) error {
-	var b strings.Builder
-	b.WriteString("graph V {\n")
-	for i := 0; i < ng.Size(); i++ {
-		fmt.Fprintf(&b, "  v%d [label=%q];\n", i, fmt.Sprintf("view %d (n=%d)", i, ng.ViewAt(i).N()))
-		if ng.HasLoop(i) {
-			fmt.Fprintf(&b, "  v%d -- v%d;\n", i, i)
-		}
-	}
-	for _, e := range ng.Graph().Edges() {
-		fmt.Fprintf(&b, "  v%d -- v%d;\n", e[0], e[1])
-	}
-	b.WriteString("}\n")
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+// run dispatches the build pipeline through the engine; kept separate from
+// main so the tests can drive it without flag parsing.
+func run(ctx context.Context, sc obs.Scope, reg *engine.Registry, cfg engine.BuildConfig) error {
+	return engine.Runner{Scope: sc}.Run(ctx, reg.BuildJob(cfg))
 }

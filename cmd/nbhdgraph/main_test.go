@@ -1,18 +1,28 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"hidinglcp/internal/engine"
 	"hidinglcp/internal/obs"
 )
+
+// build drives the pipeline the way main does, with output discarded.
+func build(ctx context.Context, cfg engine.BuildConfig) error {
+	cfg.Out = io.Discard
+	return run(ctx, obs.Scope{}, engine.Default(), cfg)
+}
 
 func TestRunCanonicalFamilies(t *testing.T) {
 	for _, scheme := range []string{"degree-one", "even-cycle", "shatter", "watermelon"} {
 		t.Run(scheme, func(t *testing.T) {
-			if err := run(obs.Scope{}, scheme, "", "", 3, 2); err != nil {
+			if err := build(nil, engine.BuildConfig{Scheme: scheme, Shards: 3, Workers: 2}); err != nil {
 				t.Errorf("run(%s): %v", scheme, err)
 			}
 		})
@@ -20,29 +30,29 @@ func TestRunCanonicalFamilies(t *testing.T) {
 }
 
 func TestRunCustomFamily(t *testing.T) {
-	if err := run(obs.Scope{}, "trivial", "path:3,cycle:4", "", 0, 0); err != nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "trivial", Graphs: "path:3,cycle:4"}); err != nil {
 		t.Errorf("custom family: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(obs.Scope{}, "bogus", "", "", 0, 0); err == nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "bogus"}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if err := run(obs.Scope{}, "trivial", "", "", 0, 0); err == nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "trivial"}); err == nil {
 		t.Error("trivial without -graphs accepted")
 	}
-	if err := run(obs.Scope{}, "trivial", "bad:spec", "", 0, 0); err == nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "trivial", Graphs: "bad:spec"}); err == nil {
 		t.Error("bad graph spec accepted")
 	}
-	if err := run(obs.Scope{}, "trivial", "cycle:5", "", 0, 0); err == nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "trivial", Graphs: "cycle:5"}); err == nil {
 		t.Error("prover-labeled family on a no-instance accepted")
 	}
 }
 
 func TestRunDOTExport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.dot")
-	if err := run(obs.Scope{}, "shatter", "", path, 16, 4); err != nil {
+	if err := build(nil, engine.BuildConfig{Scheme: "shatter", DotPath: path, Shards: 16, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -52,5 +62,14 @@ func TestRunDOTExport(t *testing.T) {
 	out := string(data)
 	if !strings.HasPrefix(out, "graph V {") || !strings.Contains(out, "--") {
 		t.Errorf("malformed DOT output:\n%s", out)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := build(ctx, engine.BuildConfig{Scheme: "degree-one"})
+	if !errors.Is(err, engine.ErrCancelled) {
+		t.Errorf("err = %v, want engine.ErrCancelled", err)
 	}
 }

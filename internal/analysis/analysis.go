@@ -6,7 +6,7 @@
 // library's go/ast, go/parser, and go/types so the linter works offline
 // with no external modules.
 //
-// Eleven analyzers are provided (see All). Five enforce the determinism
+// Twelve analyzers are provided (see All). Five enforce the determinism
 // contract:
 //
 //   - decoderpurity: a Decide method must not write receiver fields,
@@ -40,11 +40,18 @@
 //     as arguments, never by capture.
 //   - wgmisuse: WaitGroup.Add precedes the go statement it accounts for.
 //
-// And one guards the memory-reuse discipline (internal/mem):
+// One guards the memory-reuse discipline (internal/mem):
 //
 //   - poolescape: a buffer borrowed from a recycler (mem.Pool, mem.FreeList,
 //     sync.Pool) must not escape its borrow scope — returned or stored into
 //     caller-visible state — without a defensive copy.
+//
+// And one enforces the cancellation-plumbing discipline (internal/engine):
+//
+//   - ctxflow: a context.Context parameter comes first, is never stored in
+//     a struct field, and the cancellation-threaded packages (engine, core,
+//     nbhd, sim) never mint their own context.Background/TODO roots — they
+//     thread the caller's context or the nil never-cancelled sentinel.
 //
 // The analyzers run over packages loaded by Load (backed by `go list` and
 // the go/types source importer) and are wired into the cmd/lcplint
@@ -123,6 +130,7 @@ func All() []*Analyzer {
 		LoopCaptureAnalyzer,
 		WGMisuseAnalyzer,
 		PoolEscapeAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 

@@ -54,6 +54,10 @@ func TestPoolEscape(t *testing.T) {
 	analysistest.Run(t, "testdata", "poolescape", analysis.PoolEscapeAnalyzer)
 }
 
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", "ctxflow", analysis.CtxFlowAnalyzer)
+}
+
 func TestAllListsEveryAnalyzer(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -68,7 +72,7 @@ func TestAllListsEveryAnalyzer(t *testing.T) {
 	for _, want := range []string{
 		"decoderpurity", "maporder", "nondet", "anonid", "obspurity",
 		"certflow", "atomicmix", "mutexcopy", "loopcapture", "wgmisuse",
-		"poolescape",
+		"poolescape", "ctxflow",
 	} {
 		if !names[want] {
 			t.Errorf("All() is missing analyzer %q", want)

@@ -1,0 +1,78 @@
+package cancel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWatchNilContext(t *testing.T) {
+	var flag atomic.Bool
+	release := Watch(nil, &flag)
+	release()
+	if flag.Load() {
+		t.Error("nil context armed the flag")
+	}
+	if Err(nil, "x") != nil || Cancelled(nil) {
+		t.Error("nil context reported as cancelled")
+	}
+}
+
+func TestWatchNeverFires(t *testing.T) {
+	var flag atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	release := Watch(ctx, &flag)
+	release()
+	if flag.Load() {
+		t.Error("live context armed the flag")
+	}
+	if err := Err(ctx, "build"); err != nil {
+		t.Errorf("live context Err = %v", err)
+	}
+}
+
+func TestWatchAlreadyCancelled(t *testing.T) {
+	var flag atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release := Watch(ctx, &flag)
+	defer release()
+	// Pre-cancelled contexts arm synchronously: no race, no sleep needed.
+	if !flag.Load() {
+		t.Fatal("pre-cancelled context did not arm the flag synchronously")
+	}
+	err := Err(ctx, "build")
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Errorf("Err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+func TestWatchFiresMidFlight(t *testing.T) {
+	var flag atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	release := Watch(ctx, &flag)
+	defer release()
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !flag.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("flag not armed after cancellation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !Cancelled(ctx) {
+		t.Error("Cancelled(ctx) = false after cancel")
+	}
+}
+
+func TestErrCarriesDeadlineCause(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Err(ctx, "sweep")
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// checkArtifactDir verifies that the directory meant to receive an
+// artifact at path can actually take a file: the nearest existing
+// ancestor must be a directory (a regular file on the path fails here,
+// which catches mistakes even when running as root, where permission
+// bits would not) and must accept a probe file. Artifact-producing flag
+// groups share this one check instead of each write site discovering an
+// unwritable destination separately at teardown, after the run's work
+// is already spent.
+func checkArtifactDir(path string) error {
+	dir := filepath.Dir(filepath.Clean(path))
+	for {
+		info, err := os.Stat(dir)
+		if err == nil {
+			if !info.IsDir() {
+				return fmt.Errorf("%s is not a directory", dir)
+			}
+			probe, err := os.CreateTemp(dir, ".artifact-probe-*")
+			if err != nil {
+				return fmt.Errorf("directory %s is not writable: %w", dir, err)
+			}
+			probe.Close()
+			os.Remove(probe.Name())
+			return nil
+		}
+		if !os.IsNotExist(err) {
+			return fmt.Errorf("checking %s: %w", dir, err)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return fmt.Errorf("no existing ancestor for %s", dir)
+		}
+		// The directory itself may legitimately not exist yet (writers
+		// MkdirAll it); walk up to the nearest ancestor that does.
+		dir = parent
+	}
+}
+
+// checkArtifacts runs checkArtifactDir over every named destination,
+// warning each failure as "tool: what: err" on warn and returning the
+// first failure. Empty paths are skipped, so callers pass their flag
+// values unconditionally.
+func checkArtifacts(warn func(what string, err error), dests []artifactDest) error {
+	var first error
+	for _, d := range dests {
+		if d.path == "" {
+			continue
+		}
+		if err := checkArtifactDir(d.path); err != nil {
+			warn(d.what, err)
+			if first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// artifactDest names one artifact destination for checkArtifacts.
+type artifactDest struct {
+	what string
+	path string
+}

@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUnwritableArtifactDir is the single unwritable-dir test behind the
+// shared checkArtifactDir helper: every artifact destination nested under
+// a regular file (which fails for root too, where permission bits would
+// not) is warned about up front AND makes an otherwise clean run return
+// an error, instead of best-effort silence discovered separately by each
+// write site at teardown.
+func TestUnwritableArtifactDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The helper itself: blocked path fails, good path (including a
+	// not-yet-existing subdirectory an artifact writer will MkdirAll)
+	// passes.
+	if err := checkArtifactDir(filepath.Join(blocker, "out.json")); err == nil {
+		t.Error("checkArtifactDir accepted a path nested under a regular file")
+	}
+	if err := checkArtifactDir(filepath.Join(dir, "out.json")); err != nil {
+		t.Errorf("checkArtifactDir rejected a writable dir: %v", err)
+	}
+	if err := checkArtifactDir(filepath.Join(dir, "runs", "out.json")); err != nil {
+		t.Errorf("checkArtifactDir rejected a creatable subdir: %v", err)
+	}
+
+	// Through ObsFlags.Setup: manifest, trace, and history destinations
+	// all funnel into the one check, each warned individually, and the
+	// failure survives into finish's return value.
+	var warnings strings.Builder
+	f := ObsFlags{
+		MetricsJSON: filepath.Join(blocker, "manifest.json"),
+		TracePath:   filepath.Join(blocker, "trace.json"),
+		HistoryDir:  filepath.Join(blocker, "runs"),
+		Warn:        &warnings,
+	}
+	_, _, finish := f.Setup("test-tool", nil)
+	if err := finish(nil); err == nil {
+		t.Error("finish returned nil despite unwritable artifacts")
+	}
+	warned := warnings.String()
+	for _, want := range []string{"run manifest destination", "trace destination", "history directory"} {
+		if !strings.Contains(warned, want) {
+			t.Errorf("warnings missing %q:\n%s", want, warned)
+		}
+	}
+
+	// The run's own error still wins the return value, but the artifact
+	// warnings are not swallowed.
+	warnings.Reset()
+	_, _, finish = f.Setup("test-tool", nil)
+	runErr := errors.New("run failed")
+	if got := finish(runErr); got != runErr {
+		t.Errorf("finish = %v, want the run error", got)
+	}
+	if !strings.Contains(warnings.String(), "run manifest destination") {
+		t.Errorf("artifact failure silenced when the run errored:\n%s", warnings.String())
+	}
+}

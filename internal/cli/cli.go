@@ -1,5 +1,9 @@
-// Package cli holds the scheme and graph-family specification parsers
-// shared by the command-line tools (cmd/lcpcheck, cmd/nbhdgraph).
+// Package cli holds the flag plumbing and specification parsers shared by
+// the command-line tools (cmd/lcpcheck, cmd/nbhdgraph, cmd/experiments):
+// graph-family specs, fault-plan flags, observability flags, and the
+// -timeout/-deadline run flags. The scheme table itself lives in
+// internal/decoders (decoders.Schemes) and the dispatch layer in
+// internal/engine — this package never names individual schemes.
 package cli
 
 import (
@@ -7,64 +11,8 @@ import (
 	"strconv"
 	"strings"
 
-	"hidinglcp/internal/core"
-	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/graph"
 )
-
-// SchemeNames lists the identifiers accepted by SchemeByName.
-func SchemeNames() []string {
-	return []string{"trivial", "trivial3", "degree-one", "even-cycle", "union", "shatter", "shatter-literal", "watermelon"}
-}
-
-// SchemeByName resolves a scheme identifier to its core.Scheme.
-func SchemeByName(name string) (core.Scheme, error) {
-	switch name {
-	case "trivial":
-		return decoders.Trivial(2), nil
-	case "trivial3":
-		return decoders.Trivial(3), nil
-	case "degree-one":
-		return decoders.DegreeOne(), nil
-	case "even-cycle":
-		return decoders.EvenCycle(), nil
-	case "union":
-		return decoders.Union(), nil
-	case "shatter":
-		return decoders.Shatter(), nil
-	case "shatter-literal":
-		return decoders.ShatterLiteral(), nil
-	case "watermelon":
-		return decoders.Watermelon(), nil
-	default:
-		return core.Scheme{}, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
-	}
-}
-
-// AlphabetFor returns the certificate alphabet used for exhaustive
-// strong-soundness searches over a scheme's label space, including a
-// garbage symbol where the well-formed alphabet alone would make the
-// search vacuous. Schemes whose certificates embed identifiers (shatter,
-// watermelon) have no finite instance-independent alphabet and return an
-// error.
-func AlphabetFor(name string) ([]string, error) {
-	switch name {
-	case "trivial":
-		return []string{"0", "1", "x"}, nil
-	case "trivial3":
-		return []string{"0", "1", "2", "x"}, nil
-	case "degree-one":
-		return decoders.DegOneAlphabet(), nil
-	case "even-cycle":
-		return decoders.EvenCycleAlphabet(), nil
-	case "union":
-		return append(decoders.DegOneAlphabet(), decoders.EvenCycleAlphabet()...), nil
-	case "shatter", "shatter-literal", "watermelon":
-		return nil, fmt.Errorf("scheme %q has identifier-dependent certificates; no finite alphabet to sweep", name)
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
-	}
-}
 
 // ParseGraph builds a graph from a specification of the form family:args.
 // Families: path:N, cycle:N, grid:RxC, torus:RxC, star:N, complete:N,

@@ -6,22 +6,6 @@ import (
 	"hidinglcp/internal/graph"
 )
 
-func TestSchemeByName(t *testing.T) {
-	for _, name := range SchemeNames() {
-		s, err := SchemeByName(name)
-		if err != nil {
-			t.Errorf("SchemeByName(%q): %v", name, err)
-			continue
-		}
-		if s.Decoder == nil || s.Prover == nil {
-			t.Errorf("scheme %q incomplete", name)
-		}
-	}
-	if _, err := SchemeByName("nope"); err == nil {
-		t.Error("unknown scheme accepted")
-	}
-}
-
 func TestParseGraph(t *testing.T) {
 	tests := []struct {
 		spec    string

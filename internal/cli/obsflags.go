@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"hidinglcp/internal/obs"
 	"hidinglcp/internal/obs/export"
@@ -86,6 +87,24 @@ func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifes
 		return obs.Scope{}, nil, func(runErr error) error { return runErr }
 	}
 
+	// One shared writability check over every artifact destination, up
+	// front: an unwritable directory is warned about before the run burns
+	// any work, and the failure is carried into finish so an otherwise
+	// clean run still exits nonzero (the actual write failures at finish
+	// are recorded too, but this catches them while they are cheap).
+	historyProbe := ""
+	if f.HistoryDir != "" {
+		historyProbe = filepath.Join(f.HistoryDir, "manifest.json")
+	}
+	upfrontErr := checkArtifacts(
+		func(what string, err error) { fmt.Fprintf(f.warnTo(), "%s: %s: %v\n", tool, what, err) },
+		[]artifactDest{
+			{"run manifest destination", f.MetricsJSON},
+			{"trace destination", f.TracePath},
+			{"event log destination", f.EventsPath},
+			{"history directory", historyProbe},
+		})
+
 	sc := obs.NewScope()
 	var tracer *obs.Tracer
 	if f.MetricsJSON != "" || f.TracePath != "" || f.Serve != "" || f.HistoryDir != "" {
@@ -146,7 +165,7 @@ func (f *ObsFlags) Setup(tool string, args []string) (obs.Scope, *obs.RunManifes
 		if prog != nil {
 			prog.Close()
 		}
-		var firstArtifactErr error
+		firstArtifactErr := upfrontErr
 		record := func(what string, err error) {
 			if err == nil {
 				return

@@ -157,66 +157,6 @@ func TestObsFlagsHistoryAndEvents(t *testing.T) {
 	}
 }
 
-// TestObsFlagsSurfacesWriteFailures is the satellite's failure path: an
-// unwritable manifest destination is warned about AND makes an otherwise
-// clean run return an error (nonzero exit), instead of best-effort
-// silence. The unwritable path nests under a regular file, which fails for
-// root too (permission bits would not).
-func TestObsFlagsSurfacesWriteFailures(t *testing.T) {
-	dir := t.TempDir()
-	blocker := filepath.Join(dir, "blocker")
-	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	var warnings strings.Builder
-	f := ObsFlags{
-		MetricsJSON: filepath.Join(blocker, "manifest.json"),
-		TracePath:   filepath.Join(blocker, "trace.json"),
-		Warn:        &warnings,
-	}
-	_, _, finish := f.Setup("test-tool", nil)
-	if err := finish(nil); err == nil {
-		t.Error("finish returned nil despite unwritable artifacts")
-	}
-	warned := warnings.String()
-	for _, want := range []string{"writing run manifest", "writing trace"} {
-		if !strings.Contains(warned, want) {
-			t.Errorf("warnings missing %q:\n%s", want, warned)
-		}
-	}
-
-	// The run's own error still wins the return value, but the artifact
-	// warnings are no longer swallowed.
-	warnings.Reset()
-	_, _, finish = f.Setup("test-tool", nil)
-	runErr := errors.New("run failed")
-	if got := finish(runErr); got != runErr {
-		t.Errorf("finish = %v, want the run error", got)
-	}
-	if !strings.Contains(warnings.String(), "writing run manifest") {
-		t.Errorf("artifact failure silenced when the run errored:\n%s", warnings.String())
-	}
-}
-
-// TestObsFlagsUnwritableHistory: a history dir nested under a file fails
-// loudly too.
-func TestObsFlagsUnwritableHistory(t *testing.T) {
-	dir := t.TempDir()
-	blocker := filepath.Join(dir, "blocker")
-	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	var warnings strings.Builder
-	f := ObsFlags{HistoryDir: filepath.Join(blocker, "runs"), Warn: &warnings}
-	_, _, finish := f.Setup("test-tool", nil)
-	if err := finish(nil); err == nil {
-		t.Error("finish returned nil despite unwritable history dir")
-	}
-	if !strings.Contains(warnings.String(), "appending run history") {
-		t.Errorf("warnings = %q", warnings.String())
-	}
-}
-
 // TestObsFlagsServeLifecycle: -serve brings the telemetry plane up during
 // the run and finish tears it down.
 func TestObsFlagsServeLifecycle(t *testing.T) {

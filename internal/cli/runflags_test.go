@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunFlagsContextUnbounded(t *testing.T) {
+	f := &RunFlags{}
+	ctx, stop, err := f.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if ctx != nil {
+		t.Error("unbounded flags produced a non-nil context")
+	}
+}
+
+func TestRunFlagsTimeout(t *testing.T) {
+	f := &RunFlags{Timeout: time.Millisecond}
+	ctx, stop, err := f.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout context never fired")
+	}
+	if !errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want DeadlineExceeded", context.Cause(ctx))
+	}
+}
+
+func TestRunFlagsDeadline(t *testing.T) {
+	past := time.Now().Add(-time.Hour).Format(time.RFC3339)
+	f := &RunFlags{Deadline: past}
+	ctx, stop, err := f.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if ctx.Err() == nil {
+		t.Error("past deadline produced a live context")
+	}
+}
+
+func TestRunFlagsBadInputs(t *testing.T) {
+	if _, _, err := (&RunFlags{Deadline: "yesterday"}).Context(); err == nil {
+		t.Error("malformed deadline accepted")
+	}
+	if _, _, err := (&RunFlags{Timeout: -time.Second}).Context(); err == nil {
+		t.Error("negative timeout accepted")
+	}
+}
+
+func TestRunFlagsBothBounds(t *testing.T) {
+	f := &RunFlags{
+		Timeout:  time.Millisecond,
+		Deadline: time.Now().Add(time.Hour).Format(time.RFC3339),
+	}
+	ctx, stop, err := f.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("tighter timeout bound never fired")
+	}
+}

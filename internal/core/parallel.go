@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hidinglcp/internal/cancel"
 	"hidinglcp/internal/graph"
 	"hidinglcp/internal/obs"
 )
@@ -37,7 +39,19 @@ func resolveShardsWorkers(shards, workers int) (int, int) {
 // search falls back to the sequential path when only one worker or shard
 // results, or when the labeling space is too large for 64-bit ranks.
 func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
-	return ExhaustiveStrongSoundnessParallelScoped(obs.Scope{}, d, lang, inst, alphabet, shards, workers)
+	return exhaustiveStrongSoundnessParallel(nil, obs.Scope{}, d, lang, inst, alphabet, shards, workers)
+}
+
+// ExhaustiveStrongSoundnessParallelCtx is the scoped parallel search under
+// cooperative cancellation: when ctx fires, every worker abandons its
+// current shard at the next labeling checkpoint, the pool drains through
+// the WaitGroup barrier (no goroutine outlives the call — pinned by
+// sanitize.ProbeExhaustiveStrongSoundnessParallelCancel), and the error
+// wraps context.Cause(ctx). A cancelled search never reports a violation:
+// its partial answer would depend on scheduling. With a context that never
+// fires the result is exactly the Scoped search's.
+func ExhaustiveStrongSoundnessParallelCtx(ctx context.Context, sc obs.Scope, d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
+	return exhaustiveStrongSoundnessParallel(ctx, sc, d, lang, inst, alphabet, shards, workers)
 }
 
 // ExhaustiveStrongSoundnessParallelScoped is ExhaustiveStrongSoundnessParallel
@@ -48,11 +62,22 @@ func ExhaustiveStrongSoundnessParallel(d Decoder, lang Language, inst Instance, 
 // the unscoped search; verdicts are never affected by instrumentation
 // (enforced by the sanitizer's instrumentation probe).
 func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
+	return exhaustiveStrongSoundnessParallel(nil, sc, d, lang, inst, alphabet, shards, workers)
+}
+
+// exhaustiveStrongSoundnessParallel is the search beneath the three
+// exported variants. A nil ctx is the never-cancelled context
+// (internal/cancel), so the bare and Scoped entry points need no
+// background context of their own.
+func exhaustiveStrongSoundnessParallel(ctx context.Context, sc obs.Scope, d Decoder, lang Language, inst Instance, alphabet []string, shards, workers int) error {
 	n := inst.G.N()
 	shards, workers = resolveShardsWorkers(shards, workers)
 	if workers == 1 || shards == 1 || !graph.LabelingRankFits(n, len(alphabet)) {
 		sc.Counter("core.sweep.sequential_fallback").Inc()
-		return ExhaustiveStrongSoundness(d, lang, inst, alphabet)
+		if ctx == nil {
+			return ExhaustiveStrongSoundness(d, lang, inst, alphabet)
+		}
+		return exhaustiveSequentialCtx(ctx, sc, d, lang, inst, alphabet)
 	}
 
 	span := sc.Span(sc.Label("core.exhaustive"))
@@ -88,6 +113,12 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 	}
 
 	sweeps := make([]*labelSweep, workers)
+	// Cancellation checkpoints sit at shard claims and at every labeling:
+	// the watcher arms the flag when ctx fires, workers abandon their
+	// current shard position, and the WaitGroup barrier drains the pool.
+	var aborted atomic.Bool
+	release := cancel.Watch(ctx, &aborted)
+	defer release()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -104,10 +135,13 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 			sweeps[w] = sweep
 			for {
 				s := int(next.Add(1)) - 1
-				if s >= shards {
+				if s >= shards || aborted.Load() {
 					return
 				}
 				graph.EnumLabelingsShard(n, len(alphabet), s, shards, func(idx []int) bool {
+					if aborted.Load() {
+						return false
+					}
 					r := graph.LabelingRank(idx, len(alphabet))
 					// Ranks increase within a shard, so everything past the
 					// best violation is prunable: any violation there would
@@ -131,6 +165,14 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 	for _, sweep := range sweeps {
 		sweep.harvest(sc)
 	}
+	if err := cancel.Err(ctx, "exhaustive soundness sweep"); err != nil {
+		sc.Counter("core.sweep.cancelled").Inc()
+		if sc.EventsEnabled() {
+			sc.EmitSpanEvent(span, obs.LevelWarn, "core.sweep.cancelled",
+				obs.Fi("shards", int64(shards)))
+		}
+		return err
+	}
 
 	r := best.Load()
 	if r == math.MaxUint64 {
@@ -151,6 +193,39 @@ func ExhaustiveStrongSoundnessParallelScoped(sc obs.Scope, d Decoder, lang Langu
 	mu.Lock()
 	defer mu.Unlock()
 	return found[r]
+}
+
+// exhaustiveSequentialCtx is ExhaustiveStrongSoundness with a per-labeling
+// cancellation checkpoint — the path the parallel entry points fall back to
+// when the search degenerates to one worker or the labeling space outgrows
+// 64-bit ranks but the caller still holds a real context. A cancelled
+// search never reports a violation.
+func exhaustiveSequentialCtx(ctx context.Context, sc obs.Scope, d Decoder, lang Language, inst Instance, alphabet []string) error {
+	n := inst.G.N()
+	sweep, serr := newLabelSweep(d, lang, inst, alphabet)
+	if serr != nil {
+		return fmt.Errorf("extracting views: %w", serr)
+	}
+	var aborted atomic.Bool
+	release := cancel.Watch(ctx, &aborted)
+	defer release()
+	var violation error
+	graph.EnumLabelings(n, len(alphabet), func(idx []int) bool {
+		if aborted.Load() {
+			return false
+		}
+		if err := sweep.check(idx); err != nil {
+			violation = err
+			return false
+		}
+		return true
+	})
+	sweep.harvest(sc)
+	if err := cancel.Err(ctx, "exhaustive soundness sweep"); err != nil {
+		sc.Counter("core.sweep.cancelled").Inc()
+		return err
+	}
+	return violation
 }
 
 // FuzzStrongSoundnessParallel is FuzzStrongSoundness with the trials checked

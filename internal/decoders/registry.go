@@ -1,0 +1,77 @@
+package decoders
+
+import (
+	"fmt"
+	"strings"
+
+	"hidinglcp/internal/core"
+)
+
+// SchemeEntry is one named scheme in the registry: the constructor plus the
+// certificate alphabet its exhaustive strong-soundness sweeps range over.
+// Alphabet is nil for schemes whose certificates embed identifiers
+// (shatter, watermelon) — they have no finite instance-independent alphabet.
+type SchemeEntry struct {
+	// Name is the identifier the CLIs accept (-scheme).
+	Name string
+	// New constructs the scheme.
+	New func() core.Scheme
+	// Alphabet returns the sweep alphabet, including a garbage symbol
+	// where the well-formed alphabet alone would make the search vacuous.
+	Alphabet func() []string
+}
+
+// Schemes is the one scheme table behind every CLI and registry: each entry
+// names a scheme of the paper and how to build it. The engine layer
+// (internal/engine) wraps this into its Registry; nothing else should
+// duplicate the name → constructor mapping.
+func Schemes() []SchemeEntry {
+	return []SchemeEntry{
+		{"trivial", func() core.Scheme { return Trivial(2) }, func() []string { return []string{"0", "1", "x"} }},
+		{"trivial3", func() core.Scheme { return Trivial(3) }, func() []string { return []string{"0", "1", "2", "x"} }},
+		{"degree-one", DegreeOne, DegOneAlphabet},
+		{"even-cycle", EvenCycle, EvenCycleAlphabet},
+		{"union", Union, func() []string { return append(DegOneAlphabet(), EvenCycleAlphabet()...) }},
+		{"shatter", Shatter, nil},
+		{"shatter-literal", ShatterLiteral, nil},
+		{"watermelon", Watermelon, nil},
+	}
+}
+
+// SchemeNames lists the identifiers accepted by SchemeByName, in registry
+// order.
+func SchemeNames() []string {
+	entries := Schemes()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// SchemeByName resolves a scheme identifier to its core.Scheme.
+func SchemeByName(name string) (core.Scheme, error) {
+	for _, e := range Schemes() {
+		if e.Name == name {
+			return e.New(), nil
+		}
+	}
+	return core.Scheme{}, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+}
+
+// AlphabetFor returns the certificate alphabet used for exhaustive
+// strong-soundness searches over a scheme's label space. Schemes whose
+// certificates embed identifiers have no finite instance-independent
+// alphabet and return an error.
+func AlphabetFor(name string) ([]string, error) {
+	for _, e := range Schemes() {
+		if e.Name != name {
+			continue
+		}
+		if e.Alphabet == nil {
+			return nil, fmt.Errorf("scheme %q has identifier-dependent certificates; no finite alphabet to sweep", name)
+		}
+		return e.Alphabet(), nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
+}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"hidinglcp/internal/cancel"
 	"hidinglcp/internal/faults"
 	"hidinglcp/internal/obs"
 )
@@ -87,7 +89,11 @@ func configuredFaultPlan() (faults.Plan, bool) {
 // be safe for concurrent calls on distinct indices; any aggregation across
 // indices is the caller's job and must be order-insensitive (or sorted
 // afterwards) to keep experiment tables deterministic.
-func parallelEach(n int, fn func(i int)) {
+//
+// When ctx fires, no further indices are claimed (items already running
+// finish), the pool drains, and the error wraps context.Cause(ctx). A nil
+// ctx is the never-cancelled context, and the return is then always nil.
+func parallelEach(ctx context.Context, n int, fn func(i int)) error {
 	_, workers := parShardsWorkers()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -96,11 +102,17 @@ func parallelEach(n int, fn func(i int)) {
 		workers = n
 	}
 	defer scope().Counter("experiments.parallel_each.items").Add(int64(n))
+	var aborted atomic.Bool
+	release := cancel.Watch(ctx, &aborted)
+	defer release()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if aborted.Load() {
+				break
+			}
 			fn(i)
 		}
-		return
+		return cancel.Err(ctx, "experiment item sweep")
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -110,7 +122,7 @@ func parallelEach(n int, fn func(i int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || aborted.Load() {
 					return
 				}
 				fn(i)
@@ -118,4 +130,5 @@ func parallelEach(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return cancel.Err(ctx, "experiment item sweep")
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/forgetful"
@@ -15,7 +16,7 @@ import (
 // (finite grids fail at corners, trees fail at leaves) while toroidal grids
 // and long cycles satisfy it — the graphs that matter for Theorem 1.2's
 // hypothesis (bipartite, minimum degree >= 2, not a cycle, r-forgetful).
-func E1Forgetful() Table {
+func E1Forgetful(ctx context.Context) Table {
 	t := Table{
 		ID:      "E1",
 		Title:   "r-forgetfulness and Lemma 2.1 (Fig. 1)",

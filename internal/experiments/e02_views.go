@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -14,7 +15,7 @@ import (
 // family and radius, how many of the instance's edges are invisible from at
 // least one endpoint's view center... precisely: how many frontier-frontier
 // pairs each node's view hides.
-func E2Views() Table {
+func E2Views(ctx context.Context) Table {
 	t := Table{
 		ID:      "E2",
 		Title:   "view truncation and compatibility (Fig. 2)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // scheme is complete on the class H1, strongly sound under exhaustive
 // adversarial labelings, and hiding — the exhaustive slice of V(D, 4)
 // contains an odd cycle, found automatically.
-func E3DegreeOne() Table {
+func E3DegreeOne(ctx context.Context) Table {
 	t := Table{
 		ID:      "E3",
 		Title:   "DegreeOne scheme (Lemma 4.1, Figs. 3-4)",
@@ -53,7 +54,7 @@ func E3DegreeOne() Table {
 		graph.EnumConnectedGraphs(n, func(g *graph.Graph) bool {
 			checked++
 			inst := core.NewAnonymousInstance(g.Clone())
-			if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet(), shards, workers); err != nil {
+			if err := core.ExhaustiveStrongSoundnessParallelCtx(ctx, sc, s.Decoder, s.Promise.Lang, inst, decoders.DegOneAlphabet(), shards, workers); err != nil {
 				t.Err = err
 				return false
 			}
@@ -76,7 +77,7 @@ func E3DegreeOne() Table {
 	t.AddRow("strong soundness (fuzz x500)", "Petersen, K5", "no violation")
 
 	// Hiding: exhaustive slice of V(D, 4), built shard-parallel.
-	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...), shards, workers)
+	ng, err := nbhd.BuildShardedCtx(ctx, sc, s.Decoder, nbhd.ShardedAllLabelings(decoders.DegOneAlphabet(), decoders.DegOneFamily(4)...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

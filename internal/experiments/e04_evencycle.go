@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -14,7 +15,7 @@ import (
 // scheme certifies even cycles by revealing a 2-edge-coloring; it is
 // complete, strongly sound, and hiding, with the odd cycle of views found
 // in the slice of V(D, 6) built from all yes-instances on C4 and C6.
-func E4EvenCycle() Table {
+func E4EvenCycle(ctx context.Context) Table {
 	t := Table{
 		ID:      "E4",
 		Title:   "EvenCycle scheme (Lemma 4.2, Figs. 5-6)",
@@ -37,7 +38,7 @@ func E4EvenCycle() Table {
 	sc := scope().Named("E4")
 	for _, n := range []int{3, 4} {
 		inst := core.NewAnonymousInstance(graph.MustCycle(n))
-		if err := core.ExhaustiveStrongSoundnessParallelScoped(sc, s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet(), shards, workers); err != nil {
+		if err := core.ExhaustiveStrongSoundnessParallelCtx(ctx, sc, s.Decoder, s.Promise.Lang, inst, decoders.EvenCycleAlphabet(), shards, workers); err != nil {
 			t.Err = err
 			return t
 		}
@@ -60,7 +61,7 @@ func E4EvenCycle() Table {
 		t.Err = err
 		return t
 	}
-	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedFromLabeled(family...), shards, workers)
+	ng, err := nbhd.BuildShardedCtx(ctx, sc, s.Decoder, nbhd.ShardedFromLabeled(family...), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -12,7 +13,7 @@ import (
 // E5Union reproduces Theorem 1.1: one anonymous, one-round, constant-size
 // scheme covering H1 ∪ H2, with completeness across both sub-classes and
 // strong soundness under mixed adversarial labelings.
-func E5Union() Table {
+func E5Union(ctx context.Context) Table {
 	t := Table{
 		ID:      "E5",
 		Title:   "Union scheme for H1 ∪ H2 (Theorem 1.1)",

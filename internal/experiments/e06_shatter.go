@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,7 +18,7 @@ import (
 // — as a reproduction finding — the strong-soundness counterexample to the
 // brief announcement's literal decoder together with the patched decoder
 // surviving it.
-func E6Shatter() Table {
+func E6Shatter(ctx context.Context) Table {
 	t := Table{
 		ID:      "E6",
 		Title:   "Shatter scheme (Theorem 1.3, Lemma 7.1)",
@@ -81,7 +82,7 @@ func E6Shatter() Table {
 
 	// Hiding via the paper's P8/P7 pair.
 	l1, l2 := decoders.ShatterHidingPair()
-	ng, err := nbhd.BuildShardedScoped(sc, s.Decoder, nbhd.ShardedFromLabeled(l1, l2), shards, workers)
+	ng, err := nbhd.BuildShardedCtx(ctx, sc, s.Decoder, nbhd.ShardedFromLabeled(l1, l2), shards, workers)
 	if err != nil {
 		t.Err = err
 		return t

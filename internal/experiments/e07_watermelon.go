@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // certificate-size sweep exhibiting the logarithmic shape and the paper's
 // two-identifier-assignment hiding construction (under the corrected
 // mirror-symmetric port assignment).
-func E7Watermelon() Table {
+func E7Watermelon(ctx context.Context) Table {
 	t := Table{
 		ID:      "E7",
 		Title:   "Watermelon scheme (Theorem 1.4)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -14,7 +15,7 @@ import (
 // 2-colorable and the extraction decoder D' recovers a proper 2-coloring of
 // fresh accepted instances. Backward: for each hiding scheme, V(D, n)
 // contains an odd cycle and building D' fails.
-func E8Extraction() Table {
+func E8Extraction(ctx context.Context) Table {
 	t := Table{
 		ID:      "E8",
 		Title:   "extraction decoder D' (Lemma 3.2)",

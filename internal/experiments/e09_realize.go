@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,7 +19,7 @@ import (
 // refuting strong soundness; plus the Fig. 8 escape-walk construction and
 // its lift into the accepting neighborhood graph (Lemma 5.4), and the
 // non-backtracking odd-walk search (Lemma 5.5).
-func E9Realize() Table {
+func E9Realize(ctx context.Context) Table {
 	t := Table{
 		ID:      "E9",
 		Title:   "realizability and G_bad (Lemmas 5.1-5.5, Fig. 8)",

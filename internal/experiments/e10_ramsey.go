@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -14,7 +15,7 @@ import (
 // reduction turning an identifier-value-dependent decoder into an
 // order-invariant one that agrees with it on a monochromatic identifier
 // universe.
-func E10Ramsey() Table {
+func E10Ramsey(ctx context.Context) Table {
 	t := Table{
 		ID:      "E10",
 		Title:   "Ramsey and the order-invariance reduction (Lemmas 6.1-6.2)",

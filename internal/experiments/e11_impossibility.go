@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -26,7 +27,7 @@ import (
 //     strongly sound on the no-instance corpus has a 2-colorable accepting
 //     neighborhood slice — i.e. none is hiding, consistent with the
 //     impossibility theorem.
-func E11Impossibility() Table {
+func E11Impossibility(ctx context.Context) Table {
 	t := Table{
 		ID:      "E11",
 		Title:   "impossibility slices (Theorems 1.2 / 6.3)",
@@ -112,8 +113,17 @@ func E11Impossibility() Table {
 	// A decoder violates strong soundness iff the class set of SOME odd
 	// cycle of a no-instance is fully accepted; precompute those class
 	// masks once and each decoder check becomes a few bit operations.
-	badSmall := space3.oddCycleMasks(no3small)
-	badFull := append(append([]uint64{}, badSmall...), space3.oddCycleMasks(no3[len(no3small):])...)
+	badSmall, err := space3.oddCycleMasks(ctx, no3small)
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	badRest, err := space3.oddCycleMasks(ctx, no3[len(no3small):])
+	if err != nil {
+		t.Err = err
+		return t
+	}
+	badFull := append(append([]uint64{}, badSmall...), badRest...)
 	badFull = minimalMasks(badFull)
 	badSmall = minimalMasks(badSmall)
 
@@ -378,11 +388,13 @@ func (s *decoderSpace) stronglySound(mask int, corpus []core.Instance) bool {
 // The per-instance cycle searches are independent and run on the configured
 // worker pool; the merged mask set is sorted, so the result does not depend
 // on scheduling.
-func (s *decoderSpace) oddCycleMasks(corpus []core.Instance) []uint64 {
+func (s *decoderSpace) oddCycleMasks(ctx context.Context, corpus []core.Instance) ([]uint64, error) {
 	perInst := make([][]uint64, len(corpus))
-	parallelEach(len(corpus), func(i int) {
+	if err := parallelEach(ctx, len(corpus), func(i int) {
 		perInst[i] = s.instanceOddCycleMasks(corpus[i])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	set := make(map[uint64]bool)
 	for _, masks := range perInst {
 		for _, mask := range masks {
@@ -396,7 +408,7 @@ func (s *decoderSpace) oddCycleMasks(corpus []core.Instance) []uint64 {
 	// Deterministic order: the masks feed the minimality filter and the
 	// reported counts, which must not vary with map iteration order.
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // instanceOddCycleMasks runs the anchored odd-cycle DFS on one instance.

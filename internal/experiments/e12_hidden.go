@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -15,7 +16,7 @@ import (
 // extraction must fail. The EvenCycle scheme hides "from all nodes", the
 // DegreeOne scheme only at the pendant; the per-instance metric makes the
 // contrast quantitative.
-func E12HiddenFraction() Table {
+func E12HiddenFraction(ctx context.Context) Table {
 	t := Table{
 		ID:      "E12",
 		Title:   "hidden-fraction metric (Section 2.4 future-work notion)",
@@ -64,7 +65,7 @@ func E12HiddenFraction() Table {
 	})
 	fractions := make([]float64, len(pts))
 	errs := make([]error, len(pts))
-	parallelEach(len(pts), func(i int) {
+	if err := parallelEach(ctx, len(pts), func(i int) {
 		inst := core.Instance{G: g, Prt: pts[i], NBound: 6}
 		labels, err := s.Prover.Certify(inst)
 		if err != nil {
@@ -77,7 +78,10 @@ func E12HiddenFraction() Table {
 			return
 		}
 		fractions[i] = report.FailFraction
-	})
+	}); err != nil {
+		t.Err = err
+		return t
+	}
 	best := 0.0
 	for i := range pts {
 		if errs[i] != nil {

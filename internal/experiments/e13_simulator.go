@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -13,7 +14,7 @@ import (
 // computations (Section 2.2's model) and reports communication volumes. The
 // simulator's views are verified against centralized extraction in the sim
 // package's tests; here we record the cost profile.
-func E13Simulator() Table {
+func E13Simulator(ctx context.Context) Table {
 	t := Table{
 		ID:      "E13",
 		Title:   "message-passing verification (Section 2.2 model)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -14,7 +15,7 @@ import (
 // E3/E4/E6-E8 summarized. The table is the library's analogue of the
 // paper's implicit "cost of hiding" comparison: constant extra bits in the
 // anonymous classes, O(log n) in the identifier-based classes.
-func E14Baseline() Table {
+func E14Baseline(ctx context.Context) Table {
 	t := Table{
 		ID:      "E14",
 		Title:   "certificate sizes: revealing baseline vs hiding schemes",

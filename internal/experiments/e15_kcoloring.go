@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/graph"
@@ -14,7 +15,7 @@ import (
 // k-coloring — complete and strongly sound for every k — and the
 // experiment asks whether its neighborhood slice witnesses hiding a
 // k-coloring (a non-k-colorable V(D, n)).
-func E15KColoring() Table {
+func E15KColoring(ctx context.Context) Table {
 	t := Table{
 		ID:      "E15",
 		Title:   "k-coloring generalization of the DegreeOne scheme (extension)",

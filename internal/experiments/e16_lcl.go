@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -15,7 +16,7 @@ import (
 // solvable on every input exactly when the certification scheme is
 // strongly sound. The table runs the solver over honest, adversarial, and
 // counterexample inputs.
-func E16PromiseFreeLCL() Table {
+func E16PromiseFreeLCL(ctx context.Context) Table {
 	t := Table{
 		ID:      "E16",
 		Title:   "promise-free LCL Π (Section 1 motivation)",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -21,7 +22,7 @@ import (
 // With cmd/experiments -faults/-crash/-seed, the configured plan replaces
 // every row's pinned plan (an exploratory run; the golden comparison only
 // applies to the default).
-func E17Chaos() Table {
+func E17Chaos(ctx context.Context) Table {
 	t := Table{
 		ID:      "E17",
 		Title:   "fault injection and graceful degradation (chaos runs)",
@@ -59,7 +60,7 @@ func E17Chaos() Table {
 		} else {
 			inst = core.NewInstance(r.g)
 		}
-		fr, err := sim.RunSchemeFaultsScoped(scope(), r.s, inst, plan)
+		fr, err := sim.RunSchemeFaultsCtx(ctx, scope(), r.s, inst, plan)
 		if err != nil {
 			t.Err = fmt.Errorf("%s on %s: %w", r.s.Name, r.name, err)
 			return t

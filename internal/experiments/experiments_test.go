@@ -11,7 +11,7 @@ func TestAllExperiments(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			table := r.Run()
+			table := r.Run(nil)
 			if table.Err != nil {
 				t.Fatalf("%s (%s): %v", r.ID, r.Name, table.Err)
 			}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,11 +64,14 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// Runner is one experiment entry point.
+// Runner is one experiment entry point. Run receives the job's context; a
+// nil ctx is the never-cancelled context (internal/cancel), which is what
+// the tests and benchmarks pass. A cancelled run returns a Table whose Err
+// wraps the context's cause — partial rows are dropped, never published.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func() Table
+	Run  func(ctx context.Context) Table
 }
 
 // All returns every experiment in index order. Each runner is wrapped with
@@ -82,13 +86,13 @@ func All() []Runner {
 	return rs
 }
 
-func instrumentRunner(id, name string, run func() Table) func() Table {
-	return func() Table {
+func instrumentRunner(id, name string, run func(context.Context) Table) func(context.Context) Table {
+	return func(ctx context.Context) Table {
 		sc := scope()
 		start := obs.Now()
 		span := sc.Span("experiment." + id)
 		span.SetAttr("name", name)
-		t := run()
+		t := run(ctx)
 		span.End()
 		sc.Histogram("experiments.duration_ns").Observe(obs.Since(start))
 		if t.Err != nil {

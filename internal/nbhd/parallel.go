@@ -1,6 +1,7 @@
 package nbhd
 
 import (
+	"context"
 	"fmt"
 
 	"hidinglcp/internal/core"
@@ -26,7 +27,19 @@ import (
 // output is bit-identical to Build's for every shard/worker count
 // (property-tested in shard_test.go).
 func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
-	return BuildShardedScoped(obs.Scope{}, d, se, shards, workers)
+	return buildSharded(nil, obs.Scope{}, d, se, shards, workers)
+}
+
+// BuildShardedCtx is BuildShardedScoped under cooperative cancellation:
+// when ctx fires, every worker stops at its next per-instance checkpoint,
+// the pool drains through the usual WaitGroup barrier (no goroutine
+// outlives the call — pinned by sanitize.ProbeBuildShardedCancel), and the
+// error wraps context.Cause(ctx); no partial graph is returned. With a
+// context that never fires the output is bit-identical to BuildSharded at
+// every shard/worker count — the context adds one watcher goroutine and
+// nothing to the per-instance hot path.
+func BuildShardedCtx(ctx context.Context, sc obs.Scope, d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
+	return buildSharded(ctx, sc, d, se, shards, workers)
 }
 
 // BuildShardedScoped is BuildSharded reporting into an observability scope.
@@ -45,6 +58,12 @@ func BuildSharded(d core.Decoder, se ShardedEnumerator, shards, workers int) (*N
 // the nbhd.intern.classes and nbhd.views.accepting gauges and the
 // nbhd.build.duration_ns histogram.
 func BuildShardedScoped(sc obs.Scope, d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
+	return buildSharded(nil, sc, d, se, shards, workers)
+}
+
+// buildSharded is the construction beneath BuildSharded and its Scoped and
+// Ctx variants. A nil ctx is the never-cancelled context (internal/cancel).
+func buildSharded(ctx context.Context, sc obs.Scope, d core.Decoder, se ShardedEnumerator, shards, workers int) (*NGraph, error) {
 	shards, workers = resolveShardsWorkers(shards, workers)
 	start := obs.Now()
 	span := sc.Span(sc.Label("nbhd.build"))
@@ -67,7 +86,7 @@ func BuildShardedScoped(sc obs.Scope, d core.Decoder, se ShardedEnumerator, shar
 	sc.Prog().SetExtra(func() string {
 		return fmt.Sprintf("%d view classes", in.Len())
 	})
-	err := ForEachShardScoped(sc, se, shards, workers, func(w int, l core.Labeled) bool {
+	err := forEachShard(ctx, sc, se, shards, workers, func(w int, l core.Labeled) bool {
 		parts[w].absorb(l)
 		return true
 	})

@@ -1,11 +1,13 @@
 package nbhd
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"hidinglcp/internal/cancel"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/obs"
 )
@@ -178,7 +180,7 @@ func resolveShardsWorkers(shards, workers int) (int, int) {
 // When several shards fail, the error of the lowest-numbered failing shard
 // is reported, keeping the result independent of scheduling.
 func ForEachShard(se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
-	return ForEachShardScoped(obs.Scope{}, se, shards, workers, fn)
+	return forEachShard(nil, obs.Scope{}, se, shards, workers, fn)
 }
 
 // ForEachShardScoped is ForEachShard reporting into an observability scope:
@@ -188,6 +190,25 @@ func ForEachShard(se ShardedEnumerator, shards, workers int, fn func(worker int,
 // A zero Scope makes every instrument call a nil-receiver no-op, so the
 // uninstrumented path keeps its exact historical behavior and cost.
 func ForEachShardScoped(sc obs.Scope, se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
+	return forEachShard(nil, sc, se, shards, workers, fn)
+}
+
+// ForEachShardCtx is ForEachShardScoped under cooperative cancellation.
+// When ctx fires, the drive stops at the next per-instance checkpoint —
+// the same stop flag every worker already polls between instances, so a
+// never-cancelled context adds exactly one armed watcher goroutine and
+// nothing to the per-instance hot path (pinned by
+// BenchmarkBuildShardedCtx) — and the error wraps context.Cause(ctx). The
+// engine layer re-tags such errors as engine.ErrCancelled.
+func ForEachShardCtx(ctx context.Context, sc obs.Scope, se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
+	return forEachShard(ctx, sc, se, shards, workers, fn)
+}
+
+// forEachShard is the one work-stealing drive beneath the three exported
+// variants. A nil ctx is the never-cancelled context (see internal/cancel):
+// the bare and Scoped entry points pass nil rather than manufacturing a
+// background context, which the ctxflow analyzer forbids in this package.
+func forEachShard(ctx context.Context, sc obs.Scope, se ShardedEnumerator, shards, workers int, fn func(worker int, l core.Labeled) bool) error {
 	shards, workers = resolveShardsWorkers(shards, workers)
 	enums := se.Shards(shards)
 	shardsDone := sc.Counter("nbhd.shards.done")
@@ -197,6 +218,12 @@ func ForEachShardScoped(sc obs.Scope, se ShardedEnumerator, shards, workers int,
 	errs := make([]error, len(enums))
 	var next atomic.Int64
 	var stop atomic.Bool
+	// Cancellation rides the existing stop flag: the watcher arms it when
+	// ctx fires, every worker observes it at its next instance (the same
+	// checkpoint early-stopping fn returns use), and the release reclaims
+	// the watcher before this function returns.
+	release := cancel.Watch(ctx, &stop)
+	defer release()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -246,6 +273,14 @@ func ForEachShardScoped(sc obs.Scope, se ShardedEnumerator, shards, workers int,
 		if err != nil {
 			return err
 		}
+	}
+	if err := cancel.Err(ctx, "sharded enumeration"); err != nil {
+		sc.Counter("nbhd.shards.cancelled").Inc()
+		if sc.EventsEnabled() {
+			sc.EmitEvent(obs.LevelWarn, "nbhd.enumeration.cancelled",
+				obs.Fi("shards", int64(len(enums))))
+		}
+		return err
 	}
 	return nil
 }

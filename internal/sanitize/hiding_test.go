@@ -48,8 +48,8 @@ func assertHidden(t *testing.T, channel, output string) {
 // the marker alphabet exercise both accept and reject paths.
 type markerDecoder struct{}
 
-func (markerDecoder) Rounds() int             { return 1 }
-func (markerDecoder) Anonymous() bool         { return true }
+func (markerDecoder) Rounds() int     { return 1 }
+func (markerDecoder) Anonymous() bool { return true }
 func (markerDecoder) Decide(mu *view.View) bool {
 	return mu.Labels[view.Center] == hidingMarker+"-a"
 }

@@ -42,9 +42,9 @@ func candidateGraphs(t *testing.T) []*graph.Graph {
 // check "sanitizer wrapper passes for every decoder in internal/decoders".
 func TestEveryDecoderSatisfiesContract(t *testing.T) {
 	pool := candidateGraphs(t)
-	for _, name := range cli.SchemeNames() {
+	for _, name := range decoders.SchemeNames() {
 		t.Run(name, func(t *testing.T) {
-			s, err := cli.SchemeByName(name)
+			s, err := decoders.SchemeByName(name)
 			if err != nil {
 				t.Fatal(err)
 			}

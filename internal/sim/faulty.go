@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"hidinglcp/internal/cancel"
 	"hidinglcp/internal/core"
 	"hidinglcp/internal/faults"
 	"hidinglcp/internal/obs"
@@ -62,12 +65,31 @@ type pendingMsg struct {
 // Errors are reserved for misuse — negative radius, invalid plan,
 // malformed port assignment — never for injected faults.
 func GatherFaults(l core.Labeled, r int, plan faults.Plan) ([]*view.View, Stats, *faults.Report, error) {
-	return GatherFaultsScoped(obs.Scope{}, l, r, plan)
+	return gatherFaults(nil, obs.Scope{}, l, r, plan)
 }
 
 // GatherFaultsScoped is GatherFaults reporting fault counters and a span
 // into the scope.
 func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) ([]*view.View, Stats, *faults.Report, error) {
+	return gatherFaults(nil, sc, l, r, plan)
+}
+
+// GatherFaultsCtx is GatherFaultsScoped under cooperative cancellation.
+// When ctx fires, every node goroutine stops at its next round boundary
+// (leaving the barrier like a crash-stopped node, so the survivors never
+// deadlock), the pool drains through the WaitGroup, and the call returns
+// no views and no report — a cancelled gather's partial state depends on
+// which round each node had reached, so none of it is published. With a
+// context that never fires the outputs are bit-identical to
+// GatherFaultsScoped's (cancellation support only widens channel buffers,
+// which no output observes).
+func GatherFaultsCtx(ctx context.Context, sc obs.Scope, l core.Labeled, r int, plan faults.Plan) ([]*view.View, Stats, *faults.Report, error) {
+	return gatherFaults(ctx, sc, l, r, plan)
+}
+
+// gatherFaults is the scheduler beneath the three exported variants. A nil
+// ctx is the never-cancelled context (internal/cancel).
+func gatherFaults(ctx context.Context, sc obs.Scope, l core.Labeled, r int, plan faults.Plan) ([]*view.View, Stats, *faults.Report, error) {
 	n := l.G.N()
 	if r < 0 {
 		return nil, Stats{}, nil, fmt.Errorf("negative radius %d", r)
@@ -111,9 +133,12 @@ func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) (
 	// Capacity bounds the undrained backlog per link: at most two copies
 	// per round (duplication), and a crashed receiver stops draining
 	// altogether, so the whole run's traffic must fit. The fault-free plan
-	// keeps today's single-slot channels.
+	// keeps today's single-slot channels — unless cancellation is possible:
+	// nodes observe the abort flag at different rounds, so a neighbor one
+	// round ahead of an aborted (no longer draining) node must still be
+	// able to complete its send phase without blocking.
 	capacity := 1
-	if plan.Active() {
+	if plan.Active() || ctx != nil {
 		capacity = 2*r + 2
 	}
 	chans := make(map[[2]int]chan message, 2*l.G.M())
@@ -128,6 +153,12 @@ func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) (
 	}
 
 	bar := newBarrier(n)
+	// Cancellation checkpoint: once the watcher arms the flag, every node
+	// exits at its next round boundary, leaving the barrier exactly like a
+	// crash-stopped node so the not-yet-aborted survivors never block.
+	var aborted atomic.Bool
+	release := cancel.Watch(ctx, &aborted)
+	defer release()
 	var wg sync.WaitGroup
 	var statMu sync.Mutex
 	stats := Stats{Rounds: r}
@@ -145,6 +176,10 @@ func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) (
 			myCrash, hasCrash := plan.CrashRound(v)
 			var pending []pendingMsg
 			for t := 0; t < r; t++ {
+				if aborted.Load() {
+					bar.leave()
+					return
+				}
 				if hasCrash && myCrash <= t {
 					// Crash-stop: quiescent from here on. In-flight
 					// delayed copies die with the node.
@@ -234,6 +269,14 @@ func GatherFaultsScoped(sc obs.Scope, l core.Labeled, r int, plan faults.Plan) (
 		}(v)
 	}
 	wg.Wait()
+	if err := cancel.Err(ctx, "fault-injected gather"); err != nil {
+		sc.Counter("sim.gather.cancelled").Inc()
+		if sc.EventsEnabled() {
+			sc.EmitSpanEvent(span, obs.LevelWarn, "sim.gather.cancelled",
+				obs.Fi("rounds", int64(r)))
+		}
+		return nil, Stats{}, nil, err
+	}
 	rep.Finalize()
 
 	views := make([]*view.View, n)
@@ -319,11 +362,25 @@ func (fr *FaultReport) AllAccept() bool { return core.AllAcceptVerdicts(fr.Verdi
 // was injected. Errors are reserved for misuse: a prover that rejects the
 // instance, an invalid plan, a malformed port assignment.
 func RunSchemeFaults(s core.Scheme, inst core.Instance, plan faults.Plan) (*FaultReport, error) {
-	return RunSchemeFaultsScoped(obs.Scope{}, s, inst, plan)
+	return runSchemeFaults(nil, obs.Scope{}, s, inst, plan)
 }
 
 // RunSchemeFaultsScoped is RunSchemeFaults reporting into the scope.
 func RunSchemeFaultsScoped(sc obs.Scope, s core.Scheme, inst core.Instance, plan faults.Plan) (*FaultReport, error) {
+	return runSchemeFaults(nil, sc, s, inst, plan)
+}
+
+// RunSchemeFaultsCtx is RunSchemeFaultsScoped under cooperative
+// cancellation: the gather stops at the next round boundary (see
+// GatherFaultsCtx) and the call returns no FaultReport alongside the
+// cancellation error.
+func RunSchemeFaultsCtx(ctx context.Context, sc obs.Scope, s core.Scheme, inst core.Instance, plan faults.Plan) (*FaultReport, error) {
+	return runSchemeFaults(ctx, sc, s, inst, plan)
+}
+
+// runSchemeFaults is the run beneath the three exported variants. A nil
+// ctx is the never-cancelled context (internal/cancel).
+func runSchemeFaults(ctx context.Context, sc obs.Scope, s core.Scheme, inst core.Instance, plan faults.Plan) (*FaultReport, error) {
 	labels, err := s.Prover.Certify(inst)
 	if err != nil {
 		return nil, fmt.Errorf("prover: %w", err)
@@ -332,7 +389,7 @@ func RunSchemeFaultsScoped(sc obs.Scope, s core.Scheme, inst core.Instance, plan
 	if err != nil {
 		return nil, err
 	}
-	views, stats, rep, err := GatherFaultsScoped(sc, l, s.Decoder.Rounds(), plan)
+	views, stats, rep, err := gatherFaults(ctx, sc, l, s.Decoder.Rounds(), plan)
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"testing"
 
-	"hidinglcp/internal/cli"
 	"hidinglcp/internal/core"
+	"hidinglcp/internal/decoders"
 	"hidinglcp/internal/faults"
 	"hidinglcp/internal/graph"
 )
@@ -43,8 +43,8 @@ func matrixGraphs(t *testing.T) []struct {
 func TestDifferentialMatrix(t *testing.T) {
 	// Collect the distinct verification radii of every registered scheme.
 	radii := map[int]bool{}
-	for _, name := range cli.SchemeNames() {
-		s, err := cli.SchemeByName(name)
+	for _, name := range decoders.SchemeNames() {
+		s, err := decoders.SchemeByName(name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,14 +111,14 @@ func TestSchemeMatrixZeroPlan(t *testing.T) {
 		"shatter-literal": graph.Grid(3, 3),
 		"watermelon":      graph.MustWatermelon([]int{2, 4, 2}),
 	}
-	for _, name := range cli.SchemeNames() {
+	for _, name := range decoders.SchemeNames() {
 		g, ok := yes[name]
 		if !ok {
 			t.Errorf("no yes-instance registered for scheme %q; extend the matrix", name)
 			continue
 		}
 		t.Run(name, func(t *testing.T) {
-			s, err := cli.SchemeByName(name)
+			s, err := decoders.SchemeByName(name)
 			if err != nil {
 				t.Fatal(err)
 			}
